@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bench_harness Cmd Cmdliner Domain List Micro Printf Smr_core String Term

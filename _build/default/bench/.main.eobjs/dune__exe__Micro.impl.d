@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Atomic Bechamel Benchmark Ebr Hashtbl Hp Hp_plus Instance List Measure Pebr Printf Rc Smr Smr_core Staged Test Time Toolkit

@@ -1,0 +1,127 @@
+(* Bechamel micro-benchmarks for the per-operation costs the paper's Table 1
+   describes qualitatively: protection, validation, retirement, frontier
+   protection + invalidation (TryUnlink), and critical-section entry. *)
+
+open Bechamel
+open Toolkit
+module Mem = Smr_core.Mem
+
+let test_hp_protect =
+  let t = Hp.create () in
+  let h = Hp.register t in
+  let g = Hp.guard h in
+  let hdr = Mem.make (Hp.stats t) in
+  Test.make ~name:"hp/protect+release"
+    (Staged.stage (fun () ->
+         Hp.protect g hdr;
+         Hp.release g))
+
+let test_hpp_protect =
+  let t = Hp_plus.create () in
+  let h = Hp_plus.register t in
+  let g = Hp_plus.guard h in
+  let hdr = Mem.make (Hp_plus.stats t) in
+  Test.make ~name:"hp_plus/protect+release"
+    (Staged.stage (fun () ->
+         Hp_plus.protect g hdr;
+         Hp_plus.release g))
+
+let test_ebr_crit =
+  let t = Ebr.create () in
+  let h = Ebr.register t in
+  Test.make ~name:"ebr/crit_enter+exit"
+    (Staged.stage (fun () ->
+         Ebr.crit_enter h;
+         Ebr.crit_exit h))
+
+let test_pebr_crit =
+  let t = Pebr.create () in
+  let h = Pebr.register t in
+  let g = Pebr.guard h in
+  let hdr = Mem.make (Pebr.stats t) in
+  Test.make ~name:"pebr/crit+shield"
+    (Staged.stage (fun () ->
+         Pebr.crit_enter h;
+         Pebr.protect g hdr;
+         ignore (Pebr.protection_valid h);
+         Pebr.release g;
+         Pebr.crit_exit h))
+
+let test_retire scheme_name (module S : Smr.Smr_intf.S) =
+  let t = S.create () in
+  let h = S.register t in
+  Test.make
+    ~name:(scheme_name ^ "/retire(+amortized reclaim)")
+    (Staged.stage (fun () -> S.retire h (Mem.make (S.stats t))))
+
+let unlink_cycle config =
+  let t = Hp_plus.create ~config () in
+  let h = Hp_plus.register t in
+  fun () ->
+    let stats = Hp_plus.stats t in
+    let frontier_hdr = Mem.make stats in
+    let node = (Mem.make stats, Smr_core.Link.null ()) in
+    ignore
+      (Hp_plus.try_unlink h
+         ~frontier:[ frontier_hdr ]
+         ~do_unlink:(fun () -> Some [ node ])
+         ~node_header:fst
+         ~invalidate:
+           (List.iter (fun (_, link) -> Smr_core.Link.mark_invalid link)));
+    (* the frontier header itself is left live: it stands in for a
+       neighbouring node owned by the structure *)
+    ignore stats
+
+let test_try_unlink_epoched =
+  Test.make ~name:"hp_plus/try_unlink (alg5 epoched)"
+    (Staged.stage (unlink_cycle Smr.Smr_intf.default_config))
+
+let test_try_unlink_plain =
+  Test.make ~name:"hp_plus/try_unlink (alg3 plain)"
+    (Staged.stage
+       (unlink_cycle { Smr.Smr_intf.default_config with epoched_fence = false }))
+
+let test_rc_counts =
+  let hdr = Mem.make (Smr_core.Stats.create ()) in
+  Test.make ~name:"rc/incr_ref+decr"
+    (Staged.stage (fun () ->
+         Rc.incr_ref hdr;
+         ignore (Atomic.fetch_and_add (Mem.refcount hdr) (-1))))
+
+let tests =
+  Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
+    [
+      test_hp_protect;
+      test_hpp_protect;
+      test_ebr_crit;
+      test_pebr_crit;
+      test_retire "hp" (module Hp);
+      test_retire "hp_plus" (module Hp_plus);
+      test_retire "ebr" (module Ebr);
+      test_retire "pebr" (module Pebr);
+      test_try_unlink_epoched;
+      test_try_unlink_plain;
+      test_rc_counts;
+    ]
+
+let run () =
+  print_endline "== micro: per-operation primitive costs (bechamel)";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-45s %12.1f ns/op\n" name ns)
+    (List.sort compare !rows);
+  flush stdout

@@ -1,0 +1,92 @@
+(* Long-running randomized soak of every data structure x scheme pair with
+   the use-after-free detector on. Usage: soak [rounds] [domains]. *)
+
+module Pool = Smr_core.Domain_pool
+module Rng = Smr_core.Rng
+
+let rounds = try int_of_string Sys.argv.(1) with _ -> 5
+let domains = try int_of_string Sys.argv.(2) with _ -> 4
+
+module Drive
+    (S : Smr.Smr_intf.S) (L : sig
+      type 'v t
+      type local
+
+      val create : S.t -> 'v t
+      val make_local : S.handle -> local
+      val clear_local : local -> unit
+      val get : 'v t -> local -> int -> 'v option
+      val insert : 'v t -> local -> int -> 'v -> bool
+      val remove : 'v t -> local -> int -> bool
+      val to_list : 'v t -> (int * 'v) list
+    end) =
+struct
+  let run name =
+    for round = 1 to rounds do
+      let scheme = S.create () in
+      let t = L.create scheme in
+      let _ =
+        Pool.run_timed ~n:domains ~duration:0.25 (fun i ~stop ->
+            let h = S.register scheme in
+            let lo = L.make_local h in
+            let rng = Rng.create ~seed:((round * 97) + i) in
+            while not (stop ()) do
+              let key = Rng.below rng 48 in
+              match Rng.below rng 4 with
+              | 0 | 1 -> ignore (L.get t lo key)
+              | 2 -> ignore (L.insert t lo key key)
+              | _ -> ignore (L.remove t lo key)
+            done;
+            L.clear_local lo;
+            S.unregister h)
+      in
+      let contents = L.to_list t in
+      let keys = List.map fst contents in
+      assert (keys = List.sort_uniq compare keys)
+    done;
+    Printf.printf "soak ok: %s (%d rounds x %d domains)\n%!" name rounds
+      domains
+end
+
+let () =
+  let module M1 = Drive (Hp) (Smr_ds.Hmlist.Make (Hp)) in
+  M1.run "hmlist/HP";
+  let module M2 = Drive (Hp_plus) (Smr_ds.Hmlist.Make (Hp_plus)) in
+  M2.run "hmlist/HP++";
+  let module M3 = Drive (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus)) in
+  M3.run "hhslist/HP++";
+  let module M4 = Drive (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
+  M4.run "hhslist/PEBR";
+  let module M5 = Drive (Ebr) (Smr_ds.Hhslist.Make (Ebr)) in
+  M5.run "hhslist/EBR";
+  let module M6 = Drive (Rc) (Smr_ds.Hhslist.Make (Rc)) in
+  M6.run "hhslist/RC";
+  let module M7 = Drive (Hp_plus) (Smr_ds.Hashmap.Make (Hp_plus)) in
+  M7.run "hashmap/HP++";
+  let module M8 = Drive (Hp) (Smr_ds.Skiplist.Make (Hp)) in
+  M8.run "skiplist/HP";
+  let module M9 = Drive (Hp_plus) (Smr_ds.Skiplist.Make (Hp_plus)) in
+  M9.run "skiplist/HP++";
+  let module M10 = Drive (Hp_plus) (Smr_ds.Nmtree.Make (Hp_plus)) in
+  M10.run "nmtree/HP++";
+  let module M11 = Drive (Pebr) (Smr_ds.Nmtree.Make (Pebr)) in
+  M11.run "nmtree/PEBR";
+  let module M12 = Drive (Hp) (Smr_ds.Efrbtree.Make (Hp)) in
+  M12.run "efrbtree/HP";
+  let module M13 = Drive (Hp_plus) (Smr_ds.Efrbtree.Make (Hp_plus)) in
+  M13.run "efrbtree/HP++";
+  let module M14 = Drive (Nr) (Smr_ds.Efrbtree.Make (Nr)) in
+  M14.run "efrbtree/NR";
+  let module M15 = Drive (Pebr) (Smr_ds.Efrbtree.Make (Pebr)) in
+  M15.run "efrbtree/PEBR";
+  let module M16 = Drive (Hp_plus) (Smr_ds.Lazylist.Make (Hp_plus)) in
+  M16.run "lazylist/HP++";
+  let module M17 = Drive (Pebr) (Smr_ds.Lazylist.Make (Pebr)) in
+  M17.run "lazylist/PEBR";
+  let module M18 = Drive (Hp_plus) (Smr_ds.Bonsai.Make (Hp_plus)) in
+  M18.run "bonsai/HP++";
+  let module M19 = Drive (Pebr) (Smr_ds.Bonsai.Make (Pebr)) in
+  M19.run "bonsai/PEBR";
+  let module M20 = Drive (Rc) (Smr_ds.Bonsai.Make (Rc)) in
+  M20.run "bonsai/RC";
+  print_endline "all soaks passed"

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Ebr Hp_plus Printf Smr Smr_core Smr_ds Sys

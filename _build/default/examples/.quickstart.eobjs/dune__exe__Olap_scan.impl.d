@@ -1,0 +1,1 @@
+examples/olap_scan.ml: Array Atomic Ebr Hp_plus Pebr Printf Smr Smr_core Smr_ds Sys

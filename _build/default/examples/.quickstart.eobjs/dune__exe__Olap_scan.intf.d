@@ -1,0 +1,1 @@
+examples/olap_scan.mli:

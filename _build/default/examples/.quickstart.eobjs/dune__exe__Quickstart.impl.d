@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hp_plus List Printf Smr_core Smr_ds String

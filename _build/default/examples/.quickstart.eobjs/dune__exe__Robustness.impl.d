@@ -1,0 +1,1 @@
+examples/robustness.ml: Array Ebr Hp_plus Pebr Printf Smr Smr_core Smr_ds Sys

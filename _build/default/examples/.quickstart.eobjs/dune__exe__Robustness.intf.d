@@ -1,0 +1,1 @@
+examples/robustness.mli:

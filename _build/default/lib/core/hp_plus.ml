@@ -1,0 +1,228 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Slots = Smr.Slots
+module Orphanage = Smr.Orphanage
+
+let name = "HP++"
+let robust = true
+let supports_optimistic = true
+let needs_protection = true
+let counts_references = false
+
+type t = {
+  registry : Slots.registry;
+  stats : Stats.t;
+  config : Smr.Smr_intf.config;
+  fence_epoch : int Atomic.t;
+  orphans : Orphanage.t;
+}
+
+(* One successful TryUnlink, awaiting DoInvalidation: the closure invalidates
+   every unlinked node; [hdrs] are their headers; [frontier_slots] hold the
+   protections that must outlive invalidation (paper: thread-local
+   [unlinkeds]). *)
+type deferred = {
+  invalidate_all : unit -> unit;
+  hdrs : Mem.header list;
+  frontier_slots : Slots.slot list;
+}
+
+type handle = {
+  shared : t;
+  local : Slots.local;
+  mutable unlinkeds : deferred list;
+  mutable unlinks_since_invalidation : int;
+  mutable unlinks_since_reclaim : int;
+  mutable retireds : Mem.header list;
+  mutable retired_count : int;
+  mutable epoched_hps : (int * Slots.slot list) list;
+}
+
+type guard = { slot : Slots.slot }
+
+let create ?(config = Smr.Smr_intf.default_config) () =
+  {
+    registry = Slots.create ();
+    stats = Stats.create ();
+    config;
+    fence_epoch = Atomic.make 0;
+    orphans = Orphanage.create ();
+  }
+
+let stats t = t.stats
+
+let register shared =
+  {
+    shared;
+    local = Slots.register shared.registry;
+    unlinkeds = [];
+    unlinks_since_invalidation = 0;
+    unlinks_since_reclaim = 0;
+    retireds = [];
+    retired_count = 0;
+    epoched_hps = [];
+  }
+
+(* Critical sections: HP-family schemes have none. *)
+let crit_enter _ = ()
+let crit_exit _ = ()
+let crit_refresh _ = ()
+let protection_valid _ = true
+
+let guard h = { slot = Slots.acquire h.local }
+let protect g hdr = Slots.set g.slot hdr
+let release g = Slots.clear g.slot
+
+(* Algorithm 5 FenceEpoch: a heavy fence wrapped in an epoch increment. Our
+   atomics are SC, so the fence itself is subsumed; the epoch movement, which
+   drives piggybacked hazard revocation, is implemented literally. *)
+let heavy_fence t =
+  let epoch = Atomic.get t.fence_epoch in
+  ignore (Atomic.compare_and_set t.fence_epoch epoch (epoch + 1));
+  Stats.on_heavy_fence t.stats
+
+(* Algorithm 5 ReadEpoch: a light fence bracketed by two reads that must
+   agree, guaranteeing a heavy fence separates any two reads two epochs
+   apart. *)
+let read_epoch t =
+  let rec loop epoch =
+    let fresh = Atomic.get t.fence_epoch in
+    if fresh = epoch then epoch else loop fresh
+  in
+  loop (Atomic.get t.fence_epoch)
+
+let fence_epoch t = Atomic.get t.fence_epoch
+
+let release_epoched h =
+  List.iter
+    (fun (_, slots) -> List.iter (Slots.release h.local) slots)
+    h.epoched_hps;
+  h.epoched_hps <- []
+
+(* Paper Algorithm 3 lines 22-31 / Algorithm 5 lines 3-10. *)
+let do_invalidation h =
+  let t = h.shared in
+  match h.unlinkeds with
+  | [] -> h.unlinks_since_invalidation <- 0
+  | batch ->
+      h.unlinkeds <- [];
+      h.unlinks_since_invalidation <- 0;
+      List.iter (fun d -> d.invalidate_all ()) batch;
+      let hdrs = List.concat_map (fun d -> d.hdrs) batch in
+      let slots = List.concat_map (fun d -> d.frontier_slots) batch in
+      if t.config.epoched_fence then begin
+        (* Revoke lazily: tag this batch's frontier slots with the current
+           epoch and only release batches at least two epochs old — a heavy
+           fence is guaranteed to have happened in between (Lemma A.2). *)
+        let epoch = read_epoch t in
+        let stale, fresh =
+          List.partition (fun (e, _) -> e + 2 <= epoch) h.epoched_hps
+        in
+        List.iter (fun (_, ss) -> List.iter (Slots.release h.local) ss) stale;
+        h.epoched_hps <- (epoch, slots) :: fresh
+      end
+      else begin
+        (* Algorithm 3: one fence per batch, then revoke immediately. *)
+        Stats.on_heavy_fence t.stats;
+        List.iter (Slots.release h.local) slots
+      end;
+      h.retireds <- List.rev_append hdrs h.retireds;
+      h.retired_count <- h.retired_count + List.length hdrs
+
+(* Paper Algorithm 3 lines 32-35 / Algorithm 5 lines 11-16. *)
+let reclaim h =
+  let t = h.shared in
+  let rs = List.rev_append (Orphanage.pop_all t.orphans) h.retireds in
+  h.retireds <- [];
+  h.retired_count <- 0;
+  h.unlinks_since_reclaim <- 0;
+  if t.config.epoched_fence then begin
+    heavy_fence t;
+    release_epoched h
+  end;
+  let protected_ = Slots.protected_set t.registry in
+  let keep =
+    List.filter
+      (fun hdr ->
+        if Hashtbl.mem protected_ (Mem.uid hdr) then true
+        else begin
+          Mem.free_mark hdr;
+          Stats.on_free t.stats;
+          false
+        end)
+      rs
+  in
+  h.retireds <- keep;
+  h.retired_count <- List.length keep
+
+let maybe_collect h =
+  let c = h.shared.config in
+  if h.unlinks_since_invalidation >= c.invalidate_threshold then
+    do_invalidation h;
+  if
+    h.unlinks_since_reclaim >= c.reclaim_threshold
+    || h.retired_count >= c.reclaim_threshold
+  then reclaim h
+
+let retire h hdr =
+  Mem.retire_mark hdr;
+  Stats.on_retire h.shared.stats;
+  h.retireds <- hdr :: h.retireds;
+  h.retired_count <- h.retired_count + 1;
+  if h.retired_count >= h.shared.config.reclaim_threshold then reclaim h
+
+let retire_with_children h hdr ~children:_ = retire h hdr
+let incr_ref _ = ()
+
+let try_unlink h ~frontier ~do_unlink ~node_header ~invalidate =
+  let slots =
+    List.map
+      (fun hdr ->
+        let s = Slots.acquire h.local in
+        Slots.set s hdr;
+        s)
+      frontier
+  in
+  match do_unlink () with
+  | None ->
+      List.iter (Slots.release h.local) slots;
+      false
+  | Some nodes ->
+      let hdrs = List.map node_header nodes in
+      List.iter
+        (fun hdr ->
+          Mem.retire_mark hdr;
+          Stats.on_retire h.shared.stats)
+        hdrs;
+      h.unlinkeds <-
+        {
+          invalidate_all = (fun () -> invalidate nodes);
+          hdrs;
+          frontier_slots = slots;
+        }
+        :: h.unlinkeds;
+      h.unlinks_since_invalidation <- h.unlinks_since_invalidation + 1;
+      h.unlinks_since_reclaim <- h.unlinks_since_reclaim + 1;
+      maybe_collect h;
+      true
+
+let flush h =
+  do_invalidation h;
+  reclaim h
+
+let unregister h =
+  do_invalidation h;
+  (* The frontier protections may still be needed by concurrent traversals
+     only until their targets are invalidated, which do_invalidation just
+     did; a final fence orders the revocation. *)
+  heavy_fence h.shared;
+  release_epoched h;
+  reclaim h;
+  Orphanage.add h.shared.orphans h.retireds;
+  h.retireds <- [];
+  h.retired_count <- 0
+
+let pending_unlinked h =
+  List.fold_left (fun acc d -> acc + List.length d.hdrs) 0 h.unlinkeds
+
+let pending_retired h = h.retired_count

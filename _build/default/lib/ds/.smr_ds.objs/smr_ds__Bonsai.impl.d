@@ -1,0 +1,1 @@
+lib/ds/bonsai.ml: Atomic Ds_common List Option Smr Smr_core

@@ -1,0 +1,1 @@
+lib/ds/ds_common.ml: Smr Smr_core

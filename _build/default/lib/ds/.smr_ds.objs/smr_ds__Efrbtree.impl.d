@@ -1,0 +1,1 @@
+lib/ds/efrbtree.ml: Atomic Ds_common List Option Smr Smr_core

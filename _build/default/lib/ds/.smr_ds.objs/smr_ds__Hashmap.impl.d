@@ -1,0 +1,1 @@
+lib/ds/hashmap.ml: Array Hhslist Hmlist List Smr

@@ -1,0 +1,1 @@
+lib/ds/hhslist.ml: Ds_common List Option Smr Smr_core

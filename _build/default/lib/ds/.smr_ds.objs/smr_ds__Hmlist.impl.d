@@ -1,0 +1,1 @@
+lib/ds/hmlist.ml: Ds_common List Option Smr Smr_core

@@ -1,0 +1,1 @@
+lib/ds/lazylist.ml: Atomic Ds_common List Mutex Smr Smr_core

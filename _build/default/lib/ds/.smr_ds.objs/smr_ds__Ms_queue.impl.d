@@ -1,0 +1,1 @@
+lib/ds/ms_queue.ml: Ds_common List Smr Smr_core

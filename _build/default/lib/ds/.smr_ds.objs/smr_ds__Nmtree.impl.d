@@ -1,0 +1,1 @@
+lib/ds/nmtree.ml: Ds_common List Option Smr Smr_core

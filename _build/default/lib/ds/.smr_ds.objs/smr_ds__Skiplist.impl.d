@@ -1,0 +1,1 @@
+lib/ds/skiplist.ml: Array Atomic Ds_common Int64 List Option Smr Smr_core

@@ -1,0 +1,1 @@
+lib/ds/treiber_stack.ml: Ds_common List Smr Smr_core

@@ -1,0 +1,74 @@
+(** Scheme-generic protection helpers shared by the data structures. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+
+module Make (S : Smr.Smr_intf.S) = struct
+  (** Outcome of protecting the target of a link (paper Algorithm 3
+      TryProtect). [Ok l] is the current value of [src_link] — same target
+      as requested, possibly retagged; [Invalid] means the source node has
+      been invalidated (or, under PEBR, this thread neutralized) and the
+      caller must recover, typically by restarting the operation. *)
+  type 'n protect_outcome = Ok of 'n Tagged.t | Invalid
+
+  (* Under-approximating validation: protection only fails when [src_link]
+     carries the invalidation bit; logical-deletion tags are ignored, so
+     optimistic traversal through deleted chains succeeds. If the link moved
+     to a new target, chase it (announcing protection anew each time). *)
+  let try_protect ~node_header guard handle ~src_link expected =
+    if not S.needs_protection then Ok expected
+    else
+      let rec loop exp =
+        (match Tagged.ptr exp with
+        | Some n -> S.protect guard (node_header n)
+        | None -> ());
+        if not (S.protection_valid handle) then Invalid
+        else
+          let l = Link.get src_link in
+          if Tagged.is_invalid l then Invalid
+          else if Tagged.same_ptr l exp then Ok l
+          else loop l
+      in
+      loop expected
+
+  (* Over-approximating validation (original HP, paper §2.2): succeed only
+     if [src_link] still holds exactly [expected]'s target with a clean tag;
+     any change — including the source's logical deletion — fails. *)
+  let protect_pessimistic ~node_header guard handle ~src_link expected =
+    if not S.needs_protection then true
+    else begin
+      (match Tagged.ptr expected with
+      | Some n -> S.protect guard (node_header n)
+      | None -> ());
+      S.protection_valid handle
+      &&
+      let l = Link.get src_link in
+      Tagged.same_ptr l expected && Tagged.tag l = 0
+    end
+
+  (* Run [body] inside a critical section until it completes. [`Prot] is a
+     protection failure (counted, paper §4.3); [`Retry] is ordinary CAS
+     contention. Both refresh the critical section so a long string of
+     retries cannot pin the epoch, and back off exponentially so a burst of
+     contention does not degenerate into a CAS storm. *)
+  let with_crit handle stats body =
+    S.crit_enter handle;
+    let backoff = Smr_core.Backoff.create () in
+    let rec loop () =
+      match body () with
+      | `Done result ->
+          S.crit_exit handle;
+          result
+      | `Prot ->
+          Smr_core.Stats.on_protection_failure stats;
+          S.crit_refresh handle;
+          Smr_core.Backoff.once backoff;
+          loop ()
+      | `Retry ->
+          S.crit_refresh handle;
+          Smr_core.Backoff.once backoff;
+          loop ()
+    in
+    loop ()
+end

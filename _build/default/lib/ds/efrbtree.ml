@@ -1,0 +1,437 @@
+(** Ellen–Fatourou–Ruppert–van Breugel non-blocking external BST
+    (PODC 2010), coordinated by operation descriptors with helping.
+
+    Every mutation first flags the affected internal node's [update] field
+    with a descriptor ([IFlag]/[DFlag]/[Mark]); any thread meeting a flag
+    helps the pending operation to completion. Because helpers can prove
+    reachability of the descriptor's nodes from the descriptor itself, this
+    tree is protectable by the original HP (paper Table 2 and Appendix B) —
+    unlike NMTree. With HP++, the delete splice is a [try_unlink] whose
+    frontier is the surviving sibling subtree root.
+
+    Descriptors themselves are reclaimed by the runtime GC here; a C
+    implementation must manage them too, which is why the paper's
+    evaluation omits EFRBTree + reference counting (descriptor cycles). We
+    mirror that omission: {!Make.create} rejects RC. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Stats = Smr_core.Stats
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  type kind = Leaf | Internal
+  type state = Clean | IFlag | DFlag | Mark
+
+  (* [update] holds a fresh record per transition, so physical-equality CAS
+     is exactly the paper's (state, info-pointer) double-word CAS. [gen]
+     makes CLEAN records structurally distinct so the compiler cannot lift
+     them to one shared static block, which would reintroduce ABA. *)
+  type 'v update = { state : state; info : 'v info option; gen : int }
+
+  and 'v info = I of 'v iinfo | D of 'v dinfo
+
+  and 'v iinfo = {
+    i_p : 'v node;
+    i_l_rec : 'v node Tagged.t; (* p's child record pointing at l *)
+    i_l_link : 'v node Link.t; (* the child field holding it *)
+    i_new_internal : 'v node;
+  }
+
+  and 'v dinfo = {
+    d_gp : 'v node;
+    d_p : 'v node;
+    d_l : 'v node;
+    d_pupdate : 'v update; (* p's update read at search time *)
+    d_gp_rec : 'v node Tagged.t; (* gp's child record pointing at p *)
+    d_gp_link : 'v node Link.t; (* the child field holding it *)
+  }
+
+  and 'v node = {
+    hdr : Mem.header;
+    key : int;
+    value : 'v option;
+    kind : kind;
+    left : 'v node Link.t;
+    right : 'v node Link.t;
+    update : 'v update Atomic.t;
+  }
+
+  let node_header n = n.hdr
+
+  (* Unflagging must install a physically fresh record: the paper's CLEAN
+     word keeps the op pointer to distinguish generations, and a recurring
+     record lets a stale flag CAS succeed after the children changed (ABA),
+     silently losing an update. The generation counter guarantees a fresh
+     allocation — an all-constant literal would be statically shared. *)
+  let clean_gen = Atomic.make 0
+
+  let fresh_clean () =
+    { state = Clean; info = None; gen = Atomic.fetch_and_add clean_gen 1 }
+
+  let clean_update = { state = Clean; info = None; gen = -1 }
+
+  type 'v t = { scheme : S.t; root : 'v node }
+
+  type local = {
+    handle : S.handle;
+    hp_gp : S.guard;
+    hp_p : S.guard;
+    mutable hp_l : S.guard;
+    mutable hp_cur : S.guard;
+  }
+
+  type 'v search_result = {
+    s_gp : 'v node;
+    s_p : 'v node;
+    s_l : 'v node;
+    s_gpupdate : 'v update;
+    s_pupdate : 'v update;
+    s_p_rec : 'v node Tagged.t; (* gp -> p *)
+    s_p_link : 'v node Link.t;
+    s_l_rec : 'v node Tagged.t; (* p -> l *)
+    s_l_link : 'v node Link.t;
+  }
+
+  let mk_node stats ~key ~value ~kind ~left ~right =
+    {
+      hdr = Mem.make stats;
+      key;
+      value;
+      kind;
+      left = Link.make left;
+      right = Link.make right;
+      update = Atomic.make clean_update;
+    }
+
+  let create scheme =
+    if S.name = "RC" then
+      raise
+        (Smr.Smr_intf.Unsupported_scheme
+           "EFRBTree with reference counting needs weak pointers to break \
+            descriptor cycles (paper footnote 12)");
+    let stats = S.stats scheme in
+    let leaf k =
+      mk_node stats ~key:k ~value:None ~kind:Leaf ~left:Tagged.null
+        ~right:Tagged.null
+    in
+    let s =
+      mk_node stats ~key:inf1 ~value:None ~kind:Internal
+        ~left:(Tagged.make (Some (leaf inf1)))
+        ~right:(Tagged.make (Some (leaf inf2)))
+    in
+    let r =
+      mk_node stats ~key:inf2 ~value:None ~kind:Internal
+        ~left:(Tagged.make (Some s))
+        ~right:(Tagged.make (Some (leaf inf2)))
+    in
+    { scheme; root = r }
+
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  let make_local handle =
+    {
+      handle;
+      hp_gp = S.guard handle;
+      hp_p = S.guard handle;
+      hp_l = S.guard handle;
+      hp_cur = S.guard handle;
+    }
+
+  let clear_local l =
+    S.release l.hp_gp;
+    S.release l.hp_p;
+    S.release l.hp_l;
+    S.release l.hp_cur
+
+  let child_link n key = if key < n.key then n.left else n.right
+
+  (* Protect the target of [src_link]. Optimistic schemes use HP++
+     TryProtect; HP validates with the over-approximation "the link is
+     unchanged and the source is not marked for splicing" (a marked source
+     is about to be spliced out together with one child). *)
+  let protect_step l ~src ~src_link expected =
+    if S.supports_optimistic then
+      match
+        C.try_protect ~node_header l.hp_cur l.handle ~src_link expected
+      with
+      | C.Invalid -> None
+      | C.Ok r -> Some r
+    else begin
+      (match Tagged.ptr expected with
+      | Some n -> S.protect l.hp_cur n.hdr
+      | None -> ());
+      if not (S.protection_valid l.handle) then None
+      else if
+        Tagged.same_ptr (Link.get src_link) expected
+        && (Atomic.get src.update).state <> Mark
+      then Some expected
+      else None
+    end
+
+  let invalidate_nodes nodes =
+    List.iter
+      (fun n ->
+        Link.mark_invalid n.left;
+        Link.mark_invalid n.right)
+      nodes
+
+  (* HelpInsert: swing p's child from the old leaf to the new internal node
+     (the old leaf is reused below it, nothing is retired), then unflag. *)
+  let help_insert (op : 'v iinfo) iflag_rec =
+    ignore
+      (Link.cas_clean op.i_l_link op.i_l_rec
+         (Tagged.make (Some op.i_new_internal)));
+    ignore (Atomic.compare_and_set op.i_p.update iflag_rec (fresh_clean ()))
+
+  (* HelpMarked: splice out [d_p] and [d_l]; the sibling subtree root is the
+     unlink frontier. Exactly one helper's CAS wins and retires both nodes;
+     everyone then unflags the grandparent. *)
+  let help_marked l (op : 'v dinfo) dflag_rec =
+    let p = op.d_p in
+    let sibling_link =
+      match Tagged.ptr (Link.get p.left) with
+      | Some n when n == op.d_l -> p.right
+      | _ -> p.left
+    in
+    let sib_rec = Link.get sibling_link in
+    (match Tagged.ptr sib_rec with
+    | None -> ()
+    | Some sibling ->
+        ignore
+          (S.try_unlink l.handle
+             ~frontier:[ sibling.hdr ]
+             ~do_unlink:(fun () ->
+               if
+                 Link.cas_clean op.d_gp_link op.d_gp_rec
+                   (Tagged.untagged sib_rec)
+               then Some [ op.d_p; op.d_l ]
+               else None)
+             ~node_header ~invalidate:invalidate_nodes));
+    ignore (Atomic.compare_and_set op.d_gp.update dflag_rec (fresh_clean ()))
+
+  (* HelpDelete: mark p (or recognize our own mark), then splice; on
+     interference, help the blocker and roll the DFlag back. Returns whether
+     the delete completed. *)
+  let rec help_delete l (op : 'v dinfo) dflag_rec =
+    let mark_rec = { state = Mark; info = Some (D op); gen = 0 } in
+    if Atomic.compare_and_set op.d_p.update op.d_pupdate mark_rec then begin
+      help_marked l op dflag_rec;
+      true
+    end
+    else
+      let current = Atomic.get op.d_p.update in
+      match (current.state, current.info) with
+      | Mark, Some (D o) when o == op ->
+          help_marked l op dflag_rec;
+          true
+      | _ ->
+          help l current;
+          ignore (Atomic.compare_and_set op.d_gp.update dflag_rec (fresh_clean ()));
+          false
+
+  and help l (u : 'v update) =
+    match (u.state, u.info) with
+    | IFlag, Some (I op) -> help_insert op u
+    | Mark, Some (D op) -> help_marked l op u
+    | DFlag, Some (D op) -> ignore (help_delete l op u)
+    | _ -> ()
+
+  (* Search: descend to a leaf, recording grandparent/parent, their update
+     fields, and the child records needed for the CASes. The sentinel
+     structure guarantees at least two internal nodes above any leaf. *)
+  let search t l key =
+    let r = t.root in
+    let r_up = Atomic.get r.update in
+    let r_rec = Link.get (child_link r key) in
+    match protect_step l ~src:r ~src_link:(child_link r key) r_rec with
+    | None -> `Prot
+    | Some r_rec -> (
+        match Tagged.ptr r_rec with
+        | None -> `Retry
+        | Some s ->
+            S.protect l.hp_p s.hdr;
+            let rec walk gp p gpupdate pupdate p_rec p_link cur cur_rec
+                cur_link =
+              (* [cur] protected by hp_cur/hp_l rotation *)
+              if cur.kind = Leaf then
+                `Done
+                  {
+                    s_gp = gp;
+                    s_p = p;
+                    s_l = cur;
+                    s_gpupdate = gpupdate;
+                    s_pupdate = pupdate;
+                    s_p_rec = p_rec;
+                    s_p_link = p_link;
+                    s_l_rec = cur_rec;
+                    s_l_link = cur_link;
+                  }
+              else
+                let up = Atomic.get cur.update in
+                let link = child_link cur key in
+                let rec0 = Link.get link in
+                match protect_step l ~src:cur ~src_link:link rec0 with
+                | None -> `Prot
+                | Some next_rec -> (
+                    match Tagged.ptr next_rec with
+                    | None -> `Retry
+                    | Some next ->
+                        Mem.check_access next.hdr;
+                        (* roles shift: gp <- p, p <- cur, l <- next *)
+                        S.protect l.hp_gp p.hdr;
+                        S.protect l.hp_p cur.hdr;
+                        let g = l.hp_l in
+                        l.hp_l <- l.hp_cur;
+                        l.hp_cur <- g;
+                        walk p cur pupdate up cur_rec cur_link next next_rec
+                          link)
+            in
+            let s_up = Atomic.get s.update in
+            let link = child_link s key in
+            let rec0 = Link.get link in
+            (match protect_step l ~src:s ~src_link:link rec0 with
+            | None -> `Prot
+            | Some first_rec -> (
+                match Tagged.ptr first_rec with
+                | None -> `Retry
+                | Some first ->
+                    Mem.check_access first.hdr;
+                    let g = l.hp_l in
+                    l.hp_l <- l.hp_cur;
+                    l.hp_cur <- g;
+                    S.protect l.hp_gp r.hdr;
+                    S.protect l.hp_p s.hdr;
+                    walk r s r_up s_up r_rec (child_link r key) first
+                      first_rec link)))
+
+  let get t l key =
+    if key >= inf1 then invalid_arg "Efrbtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        match search t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done sr ->
+            if sr.s_l.key = key then `Done sr.s_l.value else `Done None)
+
+  let insert t l key value =
+    if key >= inf1 then invalid_arg "Efrbtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        match search t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done sr ->
+            if sr.s_l.key = key then `Done false
+            else if sr.s_pupdate.state <> Clean then begin
+              help l sr.s_pupdate;
+              `Retry
+            end
+            else begin
+              let st = stats t in
+              let leaf = sr.s_l in
+              let new_leaf =
+                mk_node st ~key ~value:(Some value) ~kind:Leaf
+                  ~left:Tagged.null ~right:Tagged.null
+              in
+              let lo_leaf, hi_leaf =
+                if key < leaf.key then (new_leaf, leaf) else (leaf, new_leaf)
+              in
+              let internal =
+                mk_node st ~key:(max key leaf.key) ~value:None ~kind:Internal
+                  ~left:(Tagged.make (Some lo_leaf))
+                  ~right:(Tagged.make (Some hi_leaf))
+              in
+              let op =
+                {
+                  i_p = sr.s_p;
+                  i_l_rec = sr.s_l_rec;
+                  i_l_link = sr.s_l_link;
+                  i_new_internal = internal;
+                }
+              in
+              let iflag_rec = { state = IFlag; info = Some (I op); gen = 0 } in
+              if Atomic.compare_and_set sr.s_p.update sr.s_pupdate iflag_rec
+              then begin
+                help_insert op iflag_rec;
+                `Done true
+              end
+              else begin
+                Stats.on_discard st;
+                Stats.on_discard st;
+                help l (Atomic.get sr.s_p.update);
+                `Retry
+              end
+            end)
+
+  let remove t l key =
+    if key >= inf1 then invalid_arg "Efrbtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        match search t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done sr ->
+            if sr.s_l.key <> key then `Done false
+            else if sr.s_gpupdate.state <> Clean then begin
+              help l sr.s_gpupdate;
+              `Retry
+            end
+            else if sr.s_pupdate.state <> Clean then begin
+              help l sr.s_pupdate;
+              `Retry
+            end
+            else begin
+              let op =
+                {
+                  d_gp = sr.s_gp;
+                  d_p = sr.s_p;
+                  d_l = sr.s_l;
+                  d_pupdate = sr.s_pupdate;
+                  d_gp_rec = sr.s_p_rec;
+                  d_gp_link = sr.s_p_link;
+                }
+              in
+              let dflag_rec = { state = DFlag; info = Some (D op); gen = 0 } in
+              if Atomic.compare_and_set sr.s_gp.update sr.s_gpupdate dflag_rec
+              then
+                if help_delete l op dflag_rec then `Done true else `Retry
+              else begin
+                help l (Atomic.get sr.s_gp.update);
+                `Retry
+              end
+            end)
+
+  (* Quiescent helpers. *)
+
+  let to_list t =
+    let rec walk n acc =
+      match n.kind with
+      | Leaf ->
+          if n.key >= inf1 then acc else (n.key, Option.get n.value) :: acc
+      | Internal ->
+          let go link acc =
+            match Tagged.ptr (Link.get link) with
+            | Some m -> walk m acc
+            | None -> acc
+          in
+          go n.left (go n.right acc)
+    in
+    List.sort compare (walk t.root [])
+
+  let size t = List.length (to_list t)
+
+  let assert_reachable_not_freed t =
+    let rec walk n =
+      assert (not (Mem.is_freed n.hdr));
+      let go link =
+        match Tagged.ptr (Link.get link) with
+        | Some m -> walk m
+        | None -> ()
+      in
+      go n.left;
+      go n.right
+    in
+    walk t.root
+end

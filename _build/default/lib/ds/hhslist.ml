@@ -1,0 +1,303 @@
+(** Harris's linked list (Harris, DISC 2001) with the wait-free get of
+    Herlihy–Shavit — "HHSList" in the paper's evaluation — protected with
+    HP++ exactly as in paper Algorithm 4.
+
+    Traversal is {e optimistic}: it walks through chains of logically
+    deleted nodes and unlinks a whole chain with one CAS. This is
+    incompatible with the original HP ({!Make.create} raises
+    {!Smr.Smr_intf.Unsupported_scheme}); with HP++/PEBR, protection fails
+    only on invalidation/neutralization, and with EBR/NR/RC protection is
+    free, so [get] is wait-free there and lock-free here (paper §4.3). *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Stats = Smr_core.Stats
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  type 'v node = {
+    hdr : Mem.header;
+    key : int;
+    value : 'v;
+    next : 'v node Link.t;
+  }
+
+  let node_header n = n.hdr
+
+  type 'v t = { scheme : S.t; head : 'v node Link.t }
+
+  type local = {
+    handle : S.handle;
+    mutable hp_prev : S.guard;
+    mutable hp_cur : S.guard;
+    mutable hp_anchor : S.guard;
+    mutable hp_anchor_next : S.guard;
+  }
+
+  (* The pending chain unlink: CAS [a_link] from [a_expected] (pointing at
+     the first deleted node of the chain) to the frontier. *)
+  type 'v anchor_info = {
+    a_link : 'v node Link.t;
+    a_expected : 'v node Tagged.t;
+    a_first : 'v node; (* = anchor_next: first node of the deleted chain *)
+  }
+
+  let create scheme =
+    if not S.supports_optimistic then
+      raise
+        (Smr.Smr_intf.Unsupported_scheme
+           ("HHSList traverses logically deleted chains, which " ^ S.name
+          ^ " cannot protect (paper 2.3)"));
+    { scheme; head = Link.null () }
+
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  let make_local handle =
+    {
+      handle;
+      hp_prev = S.guard handle;
+      hp_cur = S.guard handle;
+      hp_anchor = S.guard handle;
+      hp_anchor_next = S.guard handle;
+    }
+
+  let clear_local l =
+    S.release l.hp_prev;
+    S.release l.hp_cur;
+    S.release l.hp_anchor;
+    S.release l.hp_anchor_next
+
+  let swap_prev_cur l =
+    let p = l.hp_prev in
+    l.hp_prev <- l.hp_cur;
+    l.hp_cur <- p
+
+  let swap_anchor_prev l =
+    let a = l.hp_anchor in
+    l.hp_anchor <- l.hp_prev;
+    l.hp_prev <- a
+
+  let swap_anchor_next_prev l =
+    let a = l.hp_anchor_next in
+    l.hp_anchor_next <- l.hp_prev;
+    l.hp_prev <- a
+
+  (* Nodes of the just-unlinked chain, from its first node up to (not
+     including) the frontier. Their links are frozen (all are logically
+     deleted), so this walk is deterministic. *)
+  let collect_chain first until =
+    let is_until n = match until with Some c -> n == c | None -> false in
+    let rec walk n acc =
+      if is_until n then List.rev acc
+      else
+        let acc = n :: acc in
+        match Tagged.ptr (Link.get n.next) with
+        | Some m -> walk m acc
+        | None -> List.rev acc
+    in
+    walk first []
+
+  let invalidate_node n = Link.mark_invalid n.next
+
+  (* Paper Algorithm 4 TrySearch. One attempt; [`Done (found, prev_link,
+     expected, cur)] leaves [prev_link] holding [expected] whose target is
+     [cur], the first non-deleted node with key >= [key]. *)
+  let search_attempt t l key =
+    let finish ~found prev_link cur_t cur_opt anchor =
+      match anchor with
+      | None -> (
+          match cur_opt with
+          | Some c when Tagged.is_deleted (Link.get c.next) -> `Retry
+          | _ -> `Done (found, prev_link, cur_t, cur_opt))
+      | Some a ->
+          let frontier =
+            match cur_opt with Some c -> [ c.hdr ] | None -> []
+          in
+          let desired = Tagged.make cur_opt in
+          let unlinked =
+            S.try_unlink l.handle ~frontier
+              ~do_unlink:(fun () ->
+                if Link.cas_clean a.a_link a.a_expected desired then
+                  Some (collect_chain a.a_first cur_opt)
+                else None)
+              ~node_header ~invalidate:(List.iter invalidate_node)
+          in
+          if not unlinked then `Retry
+          else begin
+            match cur_opt with
+            | Some c when Tagged.is_deleted (Link.get c.next) -> `Retry
+            | _ -> `Done (found, a.a_link, desired, cur_opt)
+          end
+    in
+    let rec loop prev_node prev_link cur_t anchor =
+      match
+        C.try_protect ~node_header l.hp_cur l.handle ~src_link:prev_link
+          cur_t
+      with
+      | C.Invalid -> `Prot
+      | C.Ok cur_t -> (
+          match Tagged.ptr cur_t with
+          | None -> finish ~found:false prev_link cur_t None anchor
+          | Some cur ->
+              Mem.check_access cur.hdr;
+              let next_t = Link.get cur.next in
+              if not (Tagged.is_deleted next_t) then
+                if cur.key >= key then
+                  finish ~found:(cur.key = key) prev_link cur_t (Some cur)
+                    anchor
+                else begin
+                  swap_prev_cur l;
+                  loop (Some cur) cur.next next_t None
+                end
+              else begin
+                (* [cur] is logically deleted: optimistic traversal walks
+                   through it, remembering where the chain started. *)
+                let anchor =
+                  match anchor with
+                  | None ->
+                      swap_anchor_prev l;
+                      Some
+                        {
+                          a_link = prev_link;
+                          a_expected = cur_t;
+                          a_first = cur;
+                        }
+                  | Some a ->
+                      (match prev_node with
+                      | Some p when p == a.a_first -> swap_anchor_next_prev l
+                      | _ -> ());
+                      Some a
+                in
+                swap_prev_cur l;
+                loop (Some cur) cur.next next_t anchor
+              end)
+    in
+    loop None t.head (Link.get t.head) None
+
+  (* Wait-free (under EBR/NR/RC; lock-free under HP++/PEBR) search that
+     ignores logical deletion entirely and never writes. *)
+  let get t l key =
+    C.with_crit l.handle (stats t) (fun () ->
+        let rec walk prev_link cur_t =
+          match
+            C.try_protect ~node_header l.hp_cur l.handle ~src_link:prev_link
+              cur_t
+          with
+          | C.Invalid -> `Prot
+          | C.Ok cur_t -> (
+              match Tagged.ptr cur_t with
+              | None -> `Done None
+              | Some cur ->
+                  Mem.check_access cur.hdr;
+                  let next_t = Link.get cur.next in
+                  if cur.key > key then `Done None
+                  else if cur.key = key then
+                    `Done
+                      (if Tagged.is_deleted next_t then None
+                       else Some cur.value)
+                  else begin
+                    swap_prev_cur l;
+                    walk cur.next next_t
+                  end)
+        in
+        walk t.head (Link.get t.head))
+
+  let insert t l key value =
+    let fresh = ref None in
+    C.with_crit l.handle (stats t) (fun () ->
+        match search_attempt t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done (found, prev_link, cur_t, cur_opt) ->
+            if found then begin
+              (match !fresh with
+              | Some _ -> Stats.on_discard (stats t)
+              | None -> ());
+              `Done false
+            end
+            else
+              let node =
+                match !fresh with
+                | Some n -> n
+                | None ->
+                    let n =
+                      {
+                        hdr = Mem.make (stats t);
+                        key;
+                        value;
+                        next = Link.null ();
+                      }
+                    in
+                    fresh := Some n;
+                    n
+              in
+              Link.set node.next (Tagged.make cur_opt);
+              if Link.cas_clean prev_link cur_t (Tagged.make (Some node)) then
+                `Done true
+              else `Retry)
+
+  let remove t l key =
+    C.with_crit l.handle (stats t) (fun () ->
+        match search_attempt t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done (found, prev_link, cur_t, cur_opt) ->
+            if not found then `Done false
+            else
+              let cur = Option.get cur_opt in
+              let next_t = Link.get cur.next in
+              if Tagged.is_deleted next_t then `Retry
+              else if
+                not
+                  (Link.cas_clean cur.next next_t
+                     (Tagged.set_bits next_t Tagged.deleted_bit))
+              then `Retry
+              else begin
+                (* Logically deleted (linearization point). Physical
+                   deletion must go through TryUnlink so the frontier is
+                   protected and [cur] invalidated before it is retired. *)
+                let frontier =
+                  match Tagged.ptr next_t with
+                  | Some n -> [ n.hdr ]
+                  | None -> []
+                in
+                ignore
+                  (S.try_unlink l.handle ~frontier
+                     ~do_unlink:(fun () ->
+                       if
+                         Link.cas_clean prev_link cur_t
+                           (Tagged.make (Tagged.ptr next_t))
+                       then Some [ cur ]
+                       else None)
+                     ~node_header ~invalidate:(List.iter invalidate_node));
+                `Done true
+              end)
+
+  (* Quiescent helpers (single-threaded use only). *)
+
+  let to_list t =
+    let rec walk acc tg =
+      match Tagged.ptr tg with
+      | None -> List.rev acc
+      | Some n ->
+          let next_t = Link.get n.next in
+          let acc =
+            if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
+          in
+          walk acc next_t
+    in
+    walk [] (Link.get t.head)
+
+  let size t = List.length (to_list t)
+
+  let assert_reachable_not_freed t =
+    let rec walk tg =
+      match Tagged.ptr tg with
+      | None -> ()
+      | Some n ->
+          assert (not (Mem.is_freed n.hdr));
+          walk (Link.get n.next)
+    in
+    walk (Link.get t.head)
+end

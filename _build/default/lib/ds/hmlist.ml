@@ -1,0 +1,181 @@
+(** Harris–Michael linked list (Michael, SPAA 2002): the HP-compatible,
+    pessimistic ordered list of the paper's §2.2.
+
+    Traversal is hand-over-hand: each step protects the next node and
+    validates with the over-approximation "the previous link still holds the
+    node, untagged" — so the traversal never steps out of a logically
+    deleted node and instead eagerly unlinks it. Works with every scheme. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Stats = Smr_core.Stats
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  type 'v node = {
+    hdr : Mem.header;
+    key : int;
+    value : 'v;
+    next : 'v node Link.t;
+  }
+
+  let node_header n = n.hdr
+
+  type 'v t = { scheme : S.t; head : 'v node Link.t }
+
+  type local = {
+    handle : S.handle;
+    mutable hp_prev : S.guard;
+    mutable hp_cur : S.guard;
+  }
+
+  let create scheme = { scheme; head = Link.null () }
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  let make_local handle =
+    { handle; hp_prev = S.guard handle; hp_cur = S.guard handle }
+
+  let clear_local l =
+    S.release l.hp_prev;
+    S.release l.hp_cur
+
+  let swap_guards l =
+    let p = l.hp_prev in
+    l.hp_prev <- l.hp_cur;
+    l.hp_cur <- p
+
+  (* One traversal attempt from the head. Returns [`Prot] on a failed
+     protection validation (restart from scratch), [`Retry] when a cleanup
+     CAS lost a race, or [`Done (found, prev_link, cur_t, cur)] positioned
+     at the first node with key >= [key] ([cur_t] is the current record of
+     [prev_link], the expected value for a subsequent CAS). *)
+  let find_attempt t l key =
+    let rec advance prev_link cur_t =
+      match Tagged.ptr cur_t with
+      | None -> `Done (false, prev_link, cur_t, None)
+      | Some cur ->
+          if
+            not
+              (C.protect_pessimistic ~node_header l.hp_cur l.handle
+                 ~src_link:prev_link cur_t)
+          then `Prot
+          else begin
+            Mem.check_access cur.hdr;
+            let next_t = Link.get cur.next in
+            if Tagged.is_deleted next_t then begin
+              (* [cur] is logically deleted: unlink it before moving on
+                 (the pessimism HP requires). *)
+              let desired = Tagged.make (Tagged.ptr next_t) in
+              if Link.cas_clean prev_link cur_t desired then begin
+                S.retire l.handle cur.hdr;
+                advance prev_link desired
+              end
+              else `Retry
+            end
+            else if cur.key >= key then
+              `Done (cur.key = key, prev_link, cur_t, Some cur)
+            else begin
+              swap_guards l;
+              advance cur.next next_t
+            end
+          end
+    in
+    advance t.head (Link.get t.head)
+
+  let get t l key =
+    C.with_crit l.handle (stats t) (fun () ->
+        match find_attempt t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done (found, _, _, cur) ->
+            if found then `Done (Option.map (fun n -> n.value) cur)
+            else `Done None)
+
+  let insert t l key value =
+    let fresh = ref None in
+    C.with_crit l.handle (stats t) (fun () ->
+        match find_attempt t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done (found, prev_link, cur_t, _) ->
+            if found then begin
+              (match !fresh with
+              | Some _ -> Stats.on_discard (stats t)
+              | None -> ());
+              `Done false
+            end
+            else
+              let node =
+                match !fresh with
+                | Some n -> n
+                | None ->
+                    let n =
+                      {
+                        hdr = Mem.make (stats t);
+                        key;
+                        value;
+                        next = Link.null ();
+                      }
+                    in
+                    fresh := Some n;
+                    n
+              in
+              Link.set node.next (Tagged.make (Tagged.ptr cur_t));
+              if Link.cas_clean prev_link cur_t (Tagged.make (Some node)) then
+                `Done true
+              else `Retry)
+
+  let remove t l key =
+    C.with_crit l.handle (stats t) (fun () ->
+        match find_attempt t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done (found, prev_link, cur_t, cur) ->
+            if not found then `Done false
+            else
+              let cur = Option.get cur in
+              let next_t = Link.get cur.next in
+              if Tagged.is_deleted next_t then `Retry (* someone else won *)
+              else if
+                not
+                  (Link.cas_clean cur.next next_t
+                     (Tagged.set_bits next_t Tagged.deleted_bit))
+              then `Retry
+              else begin
+                (* Logical deletion done; physically unlink if we can, else
+                   a later traversal will. Only the unlinker retires. *)
+                let desired = Tagged.make (Tagged.ptr next_t) in
+                if Link.cas_clean prev_link cur_t desired then
+                  S.retire l.handle cur.hdr;
+                `Done true
+              end)
+
+  (* Quiescent helpers (single-threaded use only). *)
+
+  let to_list t =
+    let rec walk acc tg =
+      match Tagged.ptr tg with
+      | None -> List.rev acc
+      | Some n ->
+          let next_t = Link.get n.next in
+          let acc =
+            if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
+          in
+          walk acc next_t
+    in
+    walk [] (Link.get t.head)
+
+  let size t = List.length (to_list t)
+
+  (* Every node physically linked from the head must not be freed; walks
+     marked nodes too. Quiescent test invariant. *)
+  let assert_reachable_not_freed t =
+    let rec walk tg =
+      match Tagged.ptr tg with
+      | None -> ()
+      | Some n ->
+          assert (not (Mem.is_freed n.hdr));
+          walk (Link.get n.next)
+    in
+    walk (Link.get t.head)
+end

@@ -1,0 +1,120 @@
+(** Michael–Scott queue (PODC 1996) — cited by the paper (§4.2) as a
+    structure where only the tail node mutates and unlinking happens at the
+    head, so Assumption 1 holds and classic HP retirement suffices. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  type 'v node = { hdr : Mem.header; value : 'v option; next : 'v node Link.t }
+
+  let node_header n = n.hdr
+
+  type 'v t = { scheme : S.t; head : 'v node Link.t; tail : 'v node Link.t }
+  type local = { handle : S.handle; hp_head : S.guard; hp_next : S.guard }
+
+  let create scheme =
+    let stats = S.stats scheme in
+    let dummy = { hdr = Mem.make stats; value = None; next = Link.null () } in
+    let d = Tagged.make (Some dummy) in
+    { scheme; head = Link.make d; tail = Link.make d }
+
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  let make_local handle =
+    { handle; hp_head = S.guard handle; hp_next = S.guard handle }
+
+  let clear_local l =
+    S.release l.hp_head;
+    S.release l.hp_next
+
+  let enqueue t l value =
+    let hdr = Mem.make (stats t) in
+    let node = { hdr; value = Some value; next = Link.null () } in
+    C.with_crit l.handle (stats t) (fun () ->
+        let tail_t = Link.get t.tail in
+        let tl = Tagged.get_exn tail_t in
+        if
+          not
+            (C.protect_pessimistic ~node_header l.hp_head l.handle
+               ~src_link:t.tail tail_t)
+        then `Prot
+        else begin
+          Mem.check_access tl.hdr;
+          let next_t = Link.get tl.next in
+          match Tagged.ptr next_t with
+          | None ->
+              if Link.cas_clean tl.next next_t (Tagged.make (Some node))
+              then begin
+                (* Swing the tail; losing this CAS is fine (someone helped). *)
+                ignore
+                  (Link.cas_clean t.tail tail_t (Tagged.make (Some node)));
+                `Done ()
+              end
+              else `Retry
+          | Some _ ->
+              (* Tail lags behind: help advance it. *)
+              ignore
+                (Link.cas_clean t.tail tail_t (Tagged.untagged next_t));
+              `Retry
+        end)
+
+  let dequeue t l =
+    C.with_crit l.handle (stats t) (fun () ->
+        let head_t = Link.get t.head in
+        let h = Tagged.get_exn head_t in
+        if
+          not
+            (C.protect_pessimistic ~node_header l.hp_head l.handle
+               ~src_link:t.head head_t)
+        then `Prot
+        else begin
+          Mem.check_access h.hdr;
+          let tail_t = Link.get t.tail in
+          let next_t = Link.get h.next in
+          match Tagged.ptr next_t with
+          | None -> `Done None
+          | Some n ->
+              if Tagged.same_ptr head_t tail_t then begin
+                (* Help the lagging tail past the dummy. *)
+                ignore (Link.cas_clean t.tail tail_t (Tagged.untagged next_t));
+                `Retry
+              end
+              else begin
+                (* Protect [n], then validate: while [head] still holds [h],
+                   [n] cannot have been retired, so the protection is safe. *)
+                S.protect l.hp_next n.hdr;
+                if not (S.protection_valid l.handle) then `Prot
+                else if not (Tagged.same_ptr (Link.get t.head) head_t) then
+                  `Retry
+                else begin
+                  Mem.check_access n.hdr;
+                  let value = n.value in
+                  if Link.cas_clean t.head head_t (Tagged.untagged next_t)
+                  then begin
+                    S.retire l.handle h.hdr;
+                    `Done value
+                  end
+                  else `Retry
+                end
+              end
+        end)
+
+  (* Quiescent helpers. *)
+
+  let to_list t =
+    let rec walk acc tg =
+      match Tagged.ptr tg with
+      | None -> List.rev acc
+      | Some n ->
+          let acc = match n.value with Some v -> v :: acc | None -> acc in
+          walk acc (Link.get n.next)
+    in
+    walk [] (Link.get t.head)
+
+  let length t = List.length (to_list t)
+end

@@ -1,0 +1,379 @@
+(** Natarajan–Mittal lock-free external BST (PPoPP 2014) — a headline case
+    for HP++: its traversal ignores in-progress deletions (edge flags/tags),
+    so the original HP cannot protect it (paper Table 2, footnote 4);
+    {!Make.create} rejects HP.
+
+    Internal nodes route, leaves store values. Deletion marks {e edges}: the
+    deleter {e flags} the edge to the doomed leaf, {e tags} the sibling
+    edge, and splices at the {e ancestor} — one CAS that can remove a whole
+    path of nodes whose edges were already tagged by pending deletes. That
+    splice is the HP++ [try_unlink]: the surviving sibling is the frontier,
+    and the spliced nodes' child edges are invalidated before retirement. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Stats = Smr_core.Stats
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  (* Edge bits: bit 0 = flag (leaf edge, deletion pending), bit 2 = tag
+     (sibling edge, frozen); bit 1 is HP++'s invalidation. *)
+  let flag_bit = Tagged.deleted_bit
+  let tag_bit = 4
+
+  let is_flagged r = Tagged.tag r land flag_bit <> 0
+  let is_tagged r = Tagged.tag r land tag_bit <> 0
+
+  (* Sentinel keys: all user keys must be < inf1. *)
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  type kind = Leaf | Internal
+
+  type 'v node = {
+    hdr : Mem.header;
+    key : int;
+    value : 'v option;
+    kind : kind;
+    left : 'v node Link.t;
+    right : 'v node Link.t;
+  }
+
+  let node_header n = n.hdr
+
+  type 'v t = { scheme : S.t; root : 'v node (* R sentinel *) }
+
+  type local = {
+    handle : S.handle;
+    hp_ancestor : S.guard;
+    hp_successor : S.guard;
+    hp_parent : S.guard;
+    mutable hp_leaf : S.guard;
+    mutable hp_cur : S.guard;
+  }
+
+  type 'v seek_record = {
+    sr_ancestor : 'v node;
+    sr_ancestor_link : 'v node Link.t;
+    sr_ancestor_rec : 'v node Tagged.t;
+    sr_successor : 'v node;
+    sr_parent : 'v node;
+    sr_parent_link : 'v node Link.t;
+    sr_parent_rec : 'v node Tagged.t;
+    sr_leaf : 'v node;
+  }
+
+  let mk_node stats ~key ~value ~kind ~left ~right =
+    {
+      hdr = Mem.make stats;
+      key;
+      value;
+      kind;
+      left = Link.make left;
+      right = Link.make right;
+    }
+
+  let create scheme =
+    if not S.supports_optimistic then
+      raise
+        (Smr.Smr_intf.Unsupported_scheme
+           ("NMTree's traversal ignores in-progress deletions, which "
+          ^ S.name ^ " cannot protect (paper Table 2)"));
+    let stats = S.stats scheme in
+    let leaf k =
+      mk_node stats ~key:k ~value:None ~kind:Leaf ~left:Tagged.null
+        ~right:Tagged.null
+    in
+    let s =
+      mk_node stats ~key:inf1 ~value:None ~kind:Internal
+        ~left:(Tagged.make (Some (leaf inf1)))
+        ~right:(Tagged.make (Some (leaf inf2)))
+    in
+    let r =
+      mk_node stats ~key:inf2 ~value:None ~kind:Internal
+        ~left:(Tagged.make (Some s))
+        ~right:(Tagged.make (Some (leaf inf2)))
+    in
+    { scheme; root = r }
+
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  let make_local handle =
+    {
+      handle;
+      hp_ancestor = S.guard handle;
+      hp_successor = S.guard handle;
+      hp_parent = S.guard handle;
+      hp_leaf = S.guard handle;
+      hp_cur = S.guard handle;
+    }
+
+  let clear_local l =
+    S.release l.hp_ancestor;
+    S.release l.hp_successor;
+    S.release l.hp_parent;
+    S.release l.hp_leaf;
+    S.release l.hp_cur
+
+  let child_link n key = if key < n.key then n.left else n.right
+
+  (* Descend from the root, remembering the deepest edge that was untagged:
+     its source is the ancestor where a splice for [key]'s leaf must happen. *)
+  let seek t l key =
+    let protect_step src_link expected =
+      match
+        C.try_protect ~node_header l.hp_cur l.handle ~src_link expected
+      with
+      | C.Invalid -> None
+      | C.Ok r -> Some r
+    in
+    let r = t.root in
+    let r_rec = Link.get r.left in
+    match protect_step r.left r_rec with
+    | None -> `Prot
+    | Some r_rec -> (
+        match Tagged.ptr r_rec with
+        | None -> `Retry
+        | Some s ->
+            (* [s] protected by hp_cur; pin it under the successor role. *)
+            S.protect l.hp_successor s.hdr;
+            let s_rec = Link.get s.left in
+            (match protect_step s.left s_rec with
+            | None -> `Prot
+            | Some s_rec -> (
+                match Tagged.ptr s_rec with
+                | None -> `Retry
+                | Some first_leaf ->
+                    let rec walk ancestor ancestor_link ancestor_rec successor
+                        parent parent_link parent_rec leaf =
+                      if leaf.kind = Leaf then
+                        `Done
+                          {
+                            sr_ancestor = ancestor;
+                            sr_ancestor_link = ancestor_link;
+                            sr_ancestor_rec = ancestor_rec;
+                            sr_successor = successor;
+                            sr_parent = parent;
+                            sr_parent_link = parent_link;
+                            sr_parent_rec = parent_rec;
+                            sr_leaf = leaf;
+                          }
+                      else
+                        let link = child_link leaf key in
+                        match protect_step link (Link.get link) with
+                        | None -> `Prot
+                        | Some next_rec -> (
+                            match Tagged.ptr next_rec with
+                            | None -> `Retry
+                            | Some next ->
+                                Mem.check_access next.hdr;
+                                let anc, anc_link, anc_rec, succ =
+                                  if not (is_tagged parent_rec) then
+                                    (parent, parent_link, parent_rec, leaf)
+                                  else
+                                    (ancestor, ancestor_link, ancestor_rec,
+                                     successor)
+                                in
+                                (* Re-pin roles; every node pinned here is
+                                   currently protected by an older slot. *)
+                                S.protect l.hp_ancestor anc.hdr;
+                                S.protect l.hp_successor succ.hdr;
+                                S.protect l.hp_parent leaf.hdr;
+                                let g = l.hp_leaf in
+                                l.hp_leaf <- l.hp_cur;
+                                l.hp_cur <- g;
+                                walk anc anc_link anc_rec succ leaf link
+                                  next_rec next)
+                    in
+                    Mem.check_access first_leaf.hdr;
+                    let g = l.hp_leaf in
+                    l.hp_leaf <- l.hp_cur;
+                    l.hp_cur <- g;
+                    S.protect l.hp_ancestor r.hdr;
+                    S.protect l.hp_parent s.hdr;
+                    walk r r.left r_rec s s s.left s_rec first_leaf)))
+
+  let invalidate_nodes nodes =
+    List.iter
+      (fun n ->
+        Link.mark_invalid n.left;
+        Link.mark_invalid n.right)
+      nodes
+
+  (* Nodes spliced out by the ancestor CAS: the routing path from the old
+     successor down to the doomed leaf. All edges on it are flagged or
+     tagged, hence frozen. *)
+  let collect_spliced successor key =
+    let rec walk n acc =
+      let acc = n :: acc in
+      if n.kind = Leaf then List.rev acc
+      else
+        match Tagged.ptr (Link.get (child_link n key)) with
+        | Some m -> walk m acc
+        | None -> List.rev acc
+    in
+    walk successor []
+
+  (* Remove [sr_leaf] (whose parent edge we or a helper flagged): tag the
+     sibling edge, then splice at the ancestor. Returns true when the splice
+     succeeded (by us). *)
+  let cleanup l key (sr : 'v seek_record) =
+    let parent = sr.sr_parent in
+    Mem.check_access parent.hdr;
+    let leaf_on_left =
+      match Tagged.ptr (Link.get parent.left) with
+      | Some n -> n == sr.sr_leaf
+      | None -> false
+    in
+    let sibling_link = if leaf_on_left then parent.right else parent.left in
+    let rec tag_sibling () =
+      let r = Link.get sibling_link in
+      if is_tagged r then r
+      else if Link.cas sibling_link r (Tagged.set_bits r tag_bit) then
+        Tagged.set_bits r tag_bit
+      else tag_sibling ()
+    in
+    let sib_rec = tag_sibling () in
+    match Tagged.ptr sib_rec with
+    | None -> false
+    | Some sibling ->
+        S.try_unlink l.handle
+          ~frontier:[ sibling.hdr ]
+          ~do_unlink:(fun () ->
+            if
+              Link.cas_clean sr.sr_ancestor_link sr.sr_ancestor_rec
+                (Tagged.make (Some sibling))
+            then Some (collect_spliced sr.sr_successor key)
+            else None)
+          ~node_header ~invalidate:invalidate_nodes
+
+  let get t l key =
+    if key >= inf1 then invalid_arg "Nmtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        match seek t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done sr ->
+            if sr.sr_leaf.key = key then `Done sr.sr_leaf.value else `Done None)
+
+  let insert t l key value =
+    if key >= inf1 then invalid_arg "Nmtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        match seek t l key with
+        | (`Prot | `Retry) as r -> r
+        | `Done sr ->
+            let leaf = sr.sr_leaf in
+            if leaf.key = key then `Done false
+            else begin
+              Mem.check_access leaf.hdr;
+              let st = stats t in
+              let new_leaf =
+                mk_node st ~key ~value:(Some value) ~kind:Leaf
+                  ~left:Tagged.null ~right:Tagged.null
+              in
+              let lo_leaf, hi_leaf =
+                if key < leaf.key then (new_leaf, leaf) else (leaf, new_leaf)
+              in
+              let internal =
+                mk_node st ~key:(max key leaf.key) ~value:None ~kind:Internal
+                  ~left:(Tagged.make (Some lo_leaf))
+                  ~right:(Tagged.make (Some hi_leaf))
+              in
+              if
+                Link.cas_clean sr.sr_parent_link sr.sr_parent_rec
+                  (Tagged.make (Some internal))
+              then `Done true
+              else begin
+                (* Undo the accounting for the two discarded nodes and help
+                   a pending delete if that is what blocked us. *)
+                Stats.on_discard st;
+                Stats.on_discard st;
+                let r = Link.get sr.sr_parent_link in
+                (match Tagged.ptr r with
+                | Some n when n == leaf && is_flagged r ->
+                    ignore (cleanup l key sr)
+                | _ -> ());
+                `Retry
+              end
+            end)
+
+  let remove t l key =
+    if key >= inf1 then invalid_arg "Nmtree: key too large";
+    C.with_crit l.handle (stats t) (fun () ->
+        let rec injection () =
+          match seek t l key with
+          | (`Prot | `Retry) as r -> r
+          | `Done sr ->
+              let leaf = sr.sr_leaf in
+              if leaf.key <> key then `Done false
+              else if
+                Link.cas_clean sr.sr_parent_link sr.sr_parent_rec
+                  (Tagged.make ~tag:flag_bit (Some leaf))
+              then begin
+                (* We own the deletion; splice until done or helped. *)
+                if cleanup l key sr then `Done true
+                else pursue leaf
+              end
+              else begin
+                (* Someone else flagged this leaf: help, then retry. *)
+                let r = Link.get sr.sr_parent_link in
+                (match Tagged.ptr r with
+                | Some n when n == leaf && is_flagged r ->
+                    ignore (cleanup l key sr)
+                | _ -> ());
+                injection ()
+              end
+        and pursue leaf =
+          (* Our flag is planted; re-seek until the leaf is spliced out
+             (possibly by a helper). *)
+          match seek t l key with
+          | `Prot -> `Prot_owned leaf
+          | `Retry -> pursue leaf
+          | `Done sr ->
+              if sr.sr_leaf != leaf then `Done true
+              else if cleanup l key sr then `Done true
+              else pursue leaf
+        in
+        match injection () with
+        | `Prot_owned _ ->
+            (* Protection failed after the linearization point (the flag
+               CAS): the operation already succeeded; helpers finish the
+               splice (paper §4.2 recovery discussion). *)
+            `Done true
+        | (`Prot | `Retry | `Done _) as r -> r)
+
+  (* Quiescent helpers. *)
+
+  let to_list t =
+    let rec walk n acc =
+      match n.kind with
+      | Leaf ->
+          if n.key >= inf1 then acc
+          else (n.key, Option.get n.value) :: acc
+      | Internal ->
+          let go link acc =
+            match Tagged.ptr (Link.get link) with
+            | Some m -> walk m acc
+            | None -> acc
+          in
+          go n.left (go n.right acc)
+    in
+    List.sort compare (walk t.root [])
+
+  let size t = List.length (to_list t)
+
+  let assert_reachable_not_freed t =
+    let rec walk n =
+      assert (not (Mem.is_freed n.hdr));
+      let go link =
+        match Tagged.ptr (Link.get link) with
+        | Some m -> walk m
+        | None -> ()
+      in
+      go n.left;
+      go n.right
+    in
+    walk t.root
+end

@@ -1,0 +1,83 @@
+(** Treiber's stack (1986) — the paper's §2.2 running example for
+    HP-with-over-approximation (Figure 2).
+
+    Nodes are immutable once pushed, and deletion happens only at the entry
+    point (the top), so classic [retire] is safe with every scheme. With
+    HP-family schemes, [pop] validates protection by re-checking that [top]
+    still holds the protected node. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module C = Ds_common.Make (S)
+
+  type 'v node = { hdr : Mem.header; value : 'v; next : 'v node option }
+
+  let node_header n = n.hdr
+
+  type 'v t = { scheme : S.t; top : 'v node Link.t }
+  type local = { handle : S.handle; hp : S.guard }
+
+  let create scheme = { scheme; top = Link.null () }
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+  let make_local handle = { handle; hp = S.guard handle }
+  let clear_local l = S.release l.hp
+
+  let push t l value =
+    let hdr = Mem.make (stats t) in
+    C.with_crit l.handle (stats t) (fun () ->
+        let top_t = Link.get t.top in
+        let node = { hdr; value; next = Tagged.ptr top_t } in
+        if Link.cas_clean t.top top_t (Tagged.make (Some node)) then `Done ()
+        else `Retry)
+
+  let pop t l =
+    C.with_crit l.handle (stats t) (fun () ->
+        let top_t = Link.get t.top in
+        match Tagged.ptr top_t with
+        | None -> `Done None
+        | Some n ->
+            if
+              not
+                (C.protect_pessimistic ~node_header l.hp l.handle
+                   ~src_link:t.top top_t)
+            then `Prot
+            else begin
+              Mem.check_access n.hdr;
+              if Link.cas_clean t.top top_t (Tagged.make n.next) then begin
+                S.retire l.handle n.hdr;
+                `Done (Some n.value)
+              end
+              else `Retry
+            end)
+
+  let peek t l =
+    C.with_crit l.handle (stats t) (fun () ->
+        let top_t = Link.get t.top in
+        match Tagged.ptr top_t with
+        | None -> `Done None
+        | Some n ->
+            if
+              not
+                (C.protect_pessimistic ~node_header l.hp l.handle
+                   ~src_link:t.top top_t)
+            then `Prot
+            else begin
+              Mem.check_access n.hdr;
+              `Done (Some n.value)
+            end)
+
+  (* Quiescent helpers. *)
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some n -> walk (n.value :: acc) n.next
+    in
+    walk [] (Tagged.ptr (Link.get t.top))
+
+  let length t = List.length (to_list t)
+end

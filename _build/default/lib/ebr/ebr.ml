@@ -1,0 +1,149 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+
+let name = "EBR"
+let robust = false
+let supports_optimistic = true
+let counts_references = false
+let needs_protection = false
+
+(* A participant's presence word: 0 when quiescent, [epoch * 2 + 1] when
+   inside a critical section pinned at [epoch]. One word so that enter/exit
+   are single SC stores. *)
+let quiescent = 0
+let pinned_at epoch = (epoch lsl 1) lor 1
+let is_pinned status = status land 1 = 1
+let pinned_epoch status = status lsr 1
+
+type t = {
+  stats : Stats.t;
+  config : Smr.Smr_intf.config;
+  global_epoch : int Atomic.t;
+  participants : participant list Atomic.t;
+  orphans : (int * (unit -> unit)) list Atomic.t;
+}
+
+and participant = { status : int Atomic.t; alive : bool Atomic.t }
+
+type handle = {
+  shared : t;
+  me : participant;
+  mutable bag : (int * (unit -> unit)) list;
+  mutable bag_size : int;
+  mutable defers_since_collect : int;
+}
+
+type guard = unit
+
+let create ?(config = Smr.Smr_intf.default_config) () =
+  {
+    stats = Stats.create ();
+    config;
+    global_epoch = Atomic.make 0;
+    participants = Atomic.make [];
+    orphans = Atomic.make [];
+  }
+
+let stats t = t.stats
+
+let rec push_participant t p =
+  let cur = Atomic.get t.participants in
+  if not (Atomic.compare_and_set t.participants cur (p :: cur)) then
+    push_participant t p
+
+let register shared =
+  let me = { status = Atomic.make quiescent; alive = Atomic.make true } in
+  push_participant shared me;
+  { shared; me; bag = []; bag_size = 0; defers_since_collect = 0 }
+
+let global_epoch t = Atomic.get t.global_epoch
+
+let crit_enter h =
+  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch))
+
+let crit_exit h = Atomic.set h.me.status quiescent
+let crit_refresh h = crit_enter h
+
+let guard _ = ()
+let protect () _ = ()
+let release () = ()
+let protection_valid _ = true
+
+(* Advance the global epoch iff every live pinned participant has observed
+   the current one. A stalled critical section therefore pins the epoch:
+   this is exactly EBR's non-robustness. *)
+let try_advance t =
+  let epoch = Atomic.get t.global_epoch in
+  let current p =
+    (not (Atomic.get p.alive))
+    ||
+    let s = Atomic.get p.status in
+    (not (is_pinned s)) || pinned_epoch s = epoch
+  in
+  if List.for_all current (Atomic.get t.participants) then
+    ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
+
+let rec adopt_orphans t =
+  let cur = Atomic.get t.orphans in
+  match cur with
+  | [] -> []
+  | _ -> if Atomic.compare_and_set t.orphans cur [] then cur else adopt_orphans t
+
+let collect h =
+  let t = h.shared in
+  h.defers_since_collect <- 0;
+  try_advance t;
+  let epoch = Atomic.get t.global_epoch in
+  let bag = List.rev_append (adopt_orphans t) h.bag in
+  let ripe, unripe = List.partition (fun (e, _) -> e + 2 <= epoch) bag in
+  h.bag <- unripe;
+  h.bag_size <- List.length unripe;
+  List.iter (fun (_, thunk) -> thunk ()) ripe
+
+let defer h thunk =
+  let epoch = Atomic.get h.shared.global_epoch in
+  h.bag <- (epoch, thunk) :: h.bag;
+  h.bag_size <- h.bag_size + 1;
+  h.defers_since_collect <- h.defers_since_collect + 1;
+  if h.defers_since_collect >= h.shared.config.reclaim_threshold then collect h
+
+let retire h hdr =
+  Mem.retire_mark hdr;
+  Stats.on_retire h.shared.stats;
+  let t = h.shared in
+  defer h (fun () ->
+      Mem.free_mark hdr;
+      Stats.on_free t.stats)
+
+let retire_with_children h hdr ~children:_ = retire h hdr
+let incr_ref _ = ()
+
+let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
+  match do_unlink () with
+  | None -> false
+  | Some nodes ->
+      List.iter (fun n -> retire h (node_header n)) nodes;
+      true
+
+let flush h =
+  (* Up to three passes so a quiescent system drains completely: each pass
+     can advance the epoch by one and freeing needs a lag of two. *)
+  collect h;
+  collect h;
+  collect h
+
+let rec add_orphans t entries =
+  match entries with
+  | [] -> ()
+  | _ ->
+      let cur = Atomic.get t.orphans in
+      if not (Atomic.compare_and_set t.orphans cur (List.rev_append entries cur))
+      then add_orphans t entries
+
+let unregister h =
+  crit_exit h;
+  collect h;
+  add_orphans h.shared h.bag;
+  h.bag <- [];
+  h.bag_size <- 0;
+  Atomic.set h.me.alive false

@@ -1,0 +1,1 @@
+lib/harness/bench_types.ml: Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Bench_types Float Fmt Instances List Option Printf Report Smr String Workload

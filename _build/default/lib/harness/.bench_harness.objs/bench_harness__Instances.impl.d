@@ -1,0 +1,1 @@
+lib/harness/instances.ml: Bench_types Ebr Hp Hp_plus List Nr Pebr Rc Runner Smr Smr_ds

@@ -1,0 +1,1 @@
+lib/harness/report.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Bench_types Domain Fun Smr Smr_core Unix Workload

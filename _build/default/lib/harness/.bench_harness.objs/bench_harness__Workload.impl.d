@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Smr_core

@@ -1,0 +1,42 @@
+(** Configuration and results shared by all benchmark runs. *)
+
+type cfg = {
+  threads : int;
+  duration : float; (* seconds per measurement *)
+  key_range : int;
+  workload : Workload.t;
+  prefill_ratio : float; (* fraction of the key range inserted up front *)
+}
+
+let default_cfg =
+  {
+    threads = 4;
+    duration = 0.25;
+    key_range = 1024;
+    workload = Workload.read_write;
+    prefill_ratio = 0.5;
+  }
+
+type result = {
+  ops : int;
+  wall : float;
+  throughput_mops : float;
+  peak_unreclaimed : int;
+  avg_unreclaimed : float;
+  peak_live : int;
+  heavy_fences : int;
+  protection_failures : int;
+}
+
+let throughput r = r.throughput_mops
+
+type metric = result -> float
+
+let metric_of_name : string -> metric = function
+  | "throughput" -> fun r -> r.throughput_mops
+  | "peak-unreclaimed" -> fun r -> float_of_int r.peak_unreclaimed
+  | "avg-unreclaimed" -> fun r -> r.avg_unreclaimed
+  | "peak-live" -> fun r -> float_of_int r.peak_live
+  | "heavy-fences" -> fun r -> float_of_int r.heavy_fences
+  | "protection-failures" -> fun r -> float_of_int r.protection_failures
+  | s -> invalid_arg ("unknown metric: " ^ s)

@@ -1,0 +1,382 @@
+(** One entry point per table/figure of the paper (see DESIGN.md §4). *)
+
+open Bench_types
+
+type settings = {
+  threads_list : int list;
+  duration : float;
+  paper_scale : bool;
+      (* use the paper's key ranges (10K lists / 100K others) instead of
+         container-sized ones *)
+}
+
+let default_settings =
+  { threads_list = [ 1; 2; 4 ]; duration = 0.25; paper_scale = false }
+
+let big_range s cat =
+  match cat with
+  | `List -> if s.paper_scale then 10_000 else 1_024
+  | `Other -> if s.paper_scale then 100_000 else 16_384
+
+let small_range = function `List -> 16 | `Other -> 128
+
+let run_instance s (i : Instances.instance) ~threads ~key_range ~workload =
+  (i.run
+     {
+       threads;
+       duration = s.duration;
+       key_range;
+       workload;
+       prefill_ratio = 0.5;
+     } [@warning "-16"])
+
+(* One data structure, thread rows, scheme columns. *)
+let ds_sweep s ~ds ~workload ~key_range ~(metric : metric) =
+  let insts = Instances.for_ds ds in
+  let columns = Instances.schemes_order in
+  let rows =
+    List.map
+      (fun threads ->
+        ( string_of_int threads,
+          List.map
+            (fun scheme ->
+              match List.find_opt (fun i -> i.Instances.scheme = scheme) insts with
+              | None -> None
+              | Some i ->
+                  Some (metric (run_instance s i ~threads ~key_range ~workload)))
+            columns ))
+      s.threads_list
+  in
+  (columns, rows)
+
+let sweep_tables s ~title_prefix ~workload ~(metric : metric) ~fmt =
+  List.iter
+    (fun ds ->
+      let key_range = big_range s (Instances.category ds) in
+      let columns, rows = ds_sweep s ~ds ~workload ~key_range ~metric in
+      Report.table
+        ~title:
+          (Printf.sprintf "%s - %s (%s, key range %d)" title_prefix ds
+             workload.Workload.name key_range)
+        ~row_label:"threads" ~columns ~rows ~fmt)
+    Instances.ds_order
+
+(* --- Figures ------------------------------------------------------------ *)
+
+let fig8 s =
+  Report.note
+    "Figure 8: throughput (Mops/s) of read-write workloads, big key range.";
+  sweep_tables s ~title_prefix:"fig8 throughput"
+    ~workload:Workload.read_write ~metric:throughput
+    ~fmt:Report.fmt_throughput
+
+let fig9 s =
+  Report.note
+    "Figure 9: best throughput per category, HP-compatible structure vs \
+     HP++-only structure, small and big key ranges.";
+  let best (i : Instances.instance) ~key_range =
+    List.fold_left
+      (fun acc threads ->
+        let r =
+          run_instance s i ~threads ~key_range ~workload:Workload.read_write
+        in
+        Float.max acc r.throughput_mops)
+      0. s.threads_list
+  in
+  let cell ~ds ~scheme ~key_range =
+    match Instances.find ~ds ~scheme with
+    | None -> None
+    | Some i -> Some (best i ~key_range)
+  in
+  let rows =
+    [
+      ( "list/small",
+        [
+          cell ~ds:"HMList" ~scheme:"HP" ~key_range:(small_range `List);
+          cell ~ds:"HHSList" ~scheme:"HP++" ~key_range:(small_range `List);
+        ] );
+      ( "list/big",
+        [
+          cell ~ds:"HMList" ~scheme:"HP" ~key_range:(big_range s `List);
+          cell ~ds:"HHSList" ~scheme:"HP++" ~key_range:(big_range s `List);
+        ] );
+      ( "tree/small",
+        [
+          cell ~ds:"EFRBTree" ~scheme:"HP" ~key_range:(small_range `Other);
+          cell ~ds:"NMTree" ~scheme:"HP++" ~key_range:(small_range `Other);
+        ] );
+      ( "tree/big",
+        [
+          cell ~ds:"EFRBTree" ~scheme:"HP" ~key_range:(big_range s `Other);
+          cell ~ds:"NMTree" ~scheme:"HP++" ~key_range:(big_range s `Other);
+        ] );
+    ]
+  in
+  Report.table ~title:"fig9 max throughput (Mops/s): HP vs HP++ structures"
+    ~row_label:"category" ~columns:[ "HP(base DS)"; "HP++(opt DS)" ] ~rows
+    ~fmt:Report.fmt_throughput
+
+let fig10 s =
+  Report.note
+    "Figure 10: long-running reads (Mops/s of get) under head churn, \
+     growing key range. HP runs HMList; the rest run HHSList.";
+  let ranges =
+    if s.paper_scale then [ 4096; 16384; 65536; 262144 ]
+    else [ 1024; 4096; 16384; 65536 ]
+  in
+  let threads = max 2 (List.fold_left max 1 s.threads_list) in
+  let cfg key_range =
+    {
+      threads;
+      duration = s.duration;
+      key_range;
+      workload = Workload.read_write;
+      prefill_ratio = 0.5;
+    }
+  in
+  let columns = [ "NR"; "EBR"; "PEBR"; "HP"; "HP++"; "RC" ] in
+  let run_one scheme key_range =
+    let c = cfg key_range in
+    match scheme with
+    | "NR" -> Instances.Hhs_nr.run_long_reads ~writer_range:64 c
+    | "EBR" -> Instances.Hhs_ebr.run_long_reads ~writer_range:64 c
+    | "PEBR" -> Instances.Hhs_pebr.run_long_reads ~writer_range:64 c
+    | "HP" -> Instances.Hm_hp.run_long_reads ~writer_range:64 c
+    | "HP++" -> Instances.Hhs_hpp.run_long_reads ~writer_range:64 c
+    | "RC" -> Instances.Hhs_rc.run_long_reads ~writer_range:64 c
+    | _ -> assert false
+  in
+  let results =
+    List.map
+      (fun kr -> (kr, List.map (fun sch -> run_one sch kr) columns))
+      ranges
+  in
+  Report.table ~title:"fig10 long-running read throughput (Mops/s)"
+    ~row_label:"key range" ~columns
+    ~rows:
+      (List.map
+         (fun (kr, rs) ->
+           ( string_of_int kr,
+             List.map (fun r -> Some r.throughput_mops) rs ))
+         results)
+    ~fmt:Report.fmt_throughput;
+  Report.table
+    ~title:
+      "fig10 forced operation restarts (PEBR: neutralization; HP++:        invalidated source)"
+    ~row_label:"key range" ~columns
+    ~rows:
+      (List.map
+         (fun (kr, rs) ->
+           ( string_of_int kr,
+             List.map
+               (fun r -> Some (float_of_int r.protection_failures))
+               rs ))
+         results)
+    ~fmt:Report.fmt_count
+
+let fig11 s =
+  Report.note
+    "Figure 11: peak retired-but-unreclaimed blocks, read-write workload. \
+     (RC reported for completeness; the paper deems the metric ill-defined \
+     for it.)";
+  sweep_tables s ~title_prefix:"fig11 peak unreclaimed"
+    ~workload:Workload.read_write
+    ~metric:(fun r -> float_of_int r.peak_unreclaimed)
+    ~fmt:Report.fmt_count
+
+(* Appendix: three workloads x four metrics = figures 12-23. *)
+
+let appendix_figure s ~fig ~workload ~metric ~fmt ~what =
+  Report.note (Printf.sprintf "Figure %d: %s, %s workload." fig what
+                 workload.Workload.name);
+  sweep_tables s
+    ~title_prefix:(Printf.sprintf "fig%d %s" fig what)
+    ~workload ~metric ~fmt
+
+let appendix_spec =
+  [
+    (12, Workload.write_only, "throughput (Mops/s)", `Throughput);
+    (13, Workload.read_write, "throughput (Mops/s)", `Throughput);
+    (14, Workload.read_most, "throughput (Mops/s)", `Throughput);
+    (15, Workload.write_only, "peak unreclaimed blocks", `PeakUnreclaimed);
+    (16, Workload.read_write, "peak unreclaimed blocks", `PeakUnreclaimed);
+    (17, Workload.read_most, "peak unreclaimed blocks", `PeakUnreclaimed);
+    (18, Workload.write_only, "peak live blocks (memory proxy)", `PeakLive);
+    (19, Workload.read_write, "peak live blocks (memory proxy)", `PeakLive);
+    (20, Workload.read_most, "peak live blocks (memory proxy)", `PeakLive);
+    (21, Workload.write_only, "average unreclaimed blocks", `AvgUnreclaimed);
+    (22, Workload.read_write, "average unreclaimed blocks", `AvgUnreclaimed);
+    (23, Workload.read_most, "average unreclaimed blocks", `AvgUnreclaimed);
+  ]
+
+let appendix_fig s fig =
+  let _, workload, what, kind =
+    List.find (fun (f, _, _, _) -> f = fig) appendix_spec
+  in
+  let metric, fmt =
+    match kind with
+    | `Throughput -> (throughput, Report.fmt_throughput)
+    | `PeakUnreclaimed ->
+        ((fun r -> float_of_int r.peak_unreclaimed), Report.fmt_count)
+    | `PeakLive -> ((fun r -> float_of_int r.peak_live), Report.fmt_count)
+    | `AvgUnreclaimed -> ((fun r -> r.avg_unreclaimed), Report.fmt_count)
+  in
+  appendix_figure s ~fig ~workload ~metric ~fmt ~what
+
+(* --- Tables -------------------------------------------------------------- *)
+
+let tab1 _s =
+  Report.heading "Table 1: robust & widely applicable schemes, qualitative";
+  List.iter
+    (fun (c : Smr.Registry.scheme_criteria) ->
+      Printf.printf "%-6s| requires: %s\n      | fails on: %s; handling: %s\n      | overhead: %s\n      | unreclaimed: %s\n"
+        c.scheme c.system_requirement c.failure_condition c.failure_handling
+        c.overhead c.unreclaimed_bound)
+    Smr.Registry.table1;
+  flush stdout
+
+let tab2 _s =
+  Report.heading
+    "Table 2: applicability (v supported, x not, ^ wait-freedom lost, \
+     * custom recovery, ** restructuring)";
+  Printf.printf "%-44s %-6s %-8s %-5s %-5s %-10s %s\n" "structure" "HP"
+    "DEBRA+" "NBR" "EBR" "HP++/PEBR" "built here as";
+  List.iter
+    (fun (r : Smr.Registry.applicability_row) ->
+      let p s = Fmt.str "%a" Smr.Registry.pp_support s in
+      Printf.printf "%-44s %-6s %-8s %-5s %-5s %-10s %s\n" r.structure
+        (p r.hp) (p r.debra_plus) (p r.nbr) (p r.ebr) (p r.hp_plus_class)
+        (Option.value ~default:"-" r.implemented_as))
+    Smr.Registry.table2;
+  flush stdout
+
+(* --- Ablation: Algorithm 3 vs Algorithm 5 -------------------------------- *)
+
+let alg5 s =
+  Report.note
+    "Ablation: HP++ with per-batch fences (Algorithm 3) vs epoched heavy \
+     fence (Algorithm 5) on HHSList, write-only workload.";
+  let base = Smr.Smr_intf.default_config in
+  let variants =
+    [
+      ("alg5-epoched", { base with epoched_fence = true });
+      ("alg3-plain", { base with epoched_fence = false });
+    ]
+  in
+  let key_range = big_range s `List in
+  let results =
+    List.map
+      (fun threads ->
+        ( threads,
+          List.map
+            (fun (_, config) ->
+              Instances.Hhs_hpp.run ~config
+                {
+                  threads;
+                  duration = s.duration;
+                  key_range;
+                  workload = Workload.write_only;
+                  prefill_ratio = 0.5;
+                })
+            variants ))
+      s.threads_list
+  in
+  let columns = List.map fst variants in
+  Report.table ~title:"alg5 throughput (Mops/s)" ~row_label:"threads" ~columns
+    ~rows:
+      (List.map
+         (fun (t, rs) ->
+           ( string_of_int t,
+             List.map (fun r -> Some r.throughput_mops) rs ))
+         results)
+    ~fmt:Report.fmt_throughput;
+  Report.table ~title:"alg5 heavy fences issued" ~row_label:"threads" ~columns
+    ~rows:
+      (List.map
+         (fun (t, rs) ->
+           ( string_of_int t,
+             List.map (fun r -> Some (float_of_int r.heavy_fences)) rs ))
+         results)
+    ~fmt:Report.fmt_count;
+  Report.table ~title:"alg5 peak unreclaimed blocks" ~row_label:"threads"
+    ~columns
+    ~rows:
+      (List.map
+         (fun (t, rs) ->
+           ( string_of_int t,
+             List.map (fun r -> Some (float_of_int r.peak_unreclaimed)) rs ))
+         results)
+    ~fmt:Report.fmt_count
+
+(* Ablation of the reclamation cadence (paper footnote 10: DoInvalidation
+   per 32 TryUnlinks, Reclaim per 128 — "big enough to amortize ... small
+   enough to bound"). *)
+let thresholds s =
+  Report.note
+    "Ablation: HP++ DoInvalidation/Reclaim thresholds on HHSList,      write-only workload (paper footnote 10).";
+  let threads = max 2 (List.fold_left max 1 s.threads_list) in
+  let key_range = big_range s `List in
+  let variants =
+    [ (1, 8); (8, 32); (32, 128); (128, 512); (512, 2048) ]
+  in
+  let results =
+    List.map
+      (fun (inv, rec_) ->
+        let config =
+          {
+            Smr.Smr_intf.default_config with
+            invalidate_threshold = inv;
+            reclaim_threshold = rec_;
+          }
+        in
+        ( Printf.sprintf "inv=%d/rec=%d" inv rec_,
+          Instances.Hhs_hpp.run ~config
+            {
+              threads;
+              duration = s.duration;
+              key_range;
+              workload = Workload.write_only;
+              prefill_ratio = 0.5;
+            } ))
+      variants
+  in
+  Report.table ~title:"thresholds: throughput (Mops/s)" ~row_label:"config"
+    ~columns:[ "throughput" ]
+    ~rows:
+      (List.map (fun (n, r) -> (n, [ Some r.throughput_mops ])) results)
+    ~fmt:Report.fmt_throughput;
+  Report.table ~title:"thresholds: peak unreclaimed / heavy fences"
+    ~row_label:"config"
+    ~columns:[ "peak-garbage"; "heavy-fences" ]
+    ~rows:
+      (List.map
+         (fun (n, r) ->
+           ( n,
+             [
+               Some (float_of_int r.peak_unreclaimed);
+               Some (float_of_int r.heavy_fences);
+             ] ))
+         results)
+    ~fmt:Report.fmt_count
+
+(* --- Dispatch ------------------------------------------------------------ *)
+
+let known =
+  [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15";
+    "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig23";
+    "tab1"; "tab2"; "alg5"; "thresholds" ]
+
+let run s = function
+  | "fig8" -> fig8 s
+  | "fig9" -> fig9 s
+  | "fig10" -> fig10 s
+  | "fig11" -> fig11 s
+  | "tab1" -> tab1 s
+  | "tab2" -> tab2 s
+  | "alg5" -> alg5 s
+  | "thresholds" -> thresholds s
+  | exp when String.length exp > 3 && String.sub exp 0 3 = "fig" -> (
+      match int_of_string_opt (String.sub exp 3 (String.length exp - 3)) with
+      | Some n when n >= 12 && n <= 23 -> appendix_fig s n
+      | _ -> invalid_arg ("unknown experiment: " ^ exp))
+  | exp -> invalid_arg ("unknown experiment: " ^ exp)

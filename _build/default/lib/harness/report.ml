@@ -1,0 +1,40 @@
+(** Plain-text table rendering for benchmark output. *)
+
+let hr width = print_endline (String.make width '-')
+
+let heading title =
+  print_newline ();
+  print_endline ("== " ^ title);
+  hr (String.length title + 3)
+
+let label_width = 18
+let cell_width = 14
+
+let pad w s = Printf.sprintf "%-*s" (max w (String.length s + 1)) s
+
+(* A matrix with a leading label column. [rows] pairs a label with one
+   optional float per column; [None] renders as "-" (not applicable). *)
+let table ~title ~row_label ~columns ~rows ~fmt =
+  heading title;
+  print_string (pad label_width row_label);
+  List.iter (fun c -> print_string (pad cell_width c)) columns;
+  print_newline ();
+  hr (label_width + (cell_width * List.length columns));
+  List.iter
+    (fun (label, cells) ->
+      print_string (pad label_width label);
+      List.iter
+        (fun v ->
+          print_string
+            (pad cell_width (match v with Some x -> fmt x | None -> "-")))
+        cells;
+      print_newline ())
+    rows;
+  flush stdout
+
+let fmt_throughput x = Printf.sprintf "%.4f" x
+let fmt_count x = Printf.sprintf "%.0f" x
+
+let note msg =
+  print_endline ("   " ^ msg);
+  flush stdout

@@ -1,0 +1,26 @@
+(** Workload mixes of the paper's evaluation (§5 Methodology). *)
+
+type t = {
+  name : string;
+  insert_pct : int;
+  delete_pct : int; (* remainder is get *)
+}
+
+let write_only = { name = "write-only"; insert_pct = 50; delete_pct = 50 }
+let read_write = { name = "read-write"; insert_pct = 25; delete_pct = 25 }
+let read_most = { name = "read-most"; insert_pct = 5; delete_pct = 5 }
+let all = [ write_only; read_write; read_most ]
+
+let of_name = function
+  | "write-only" -> write_only
+  | "read-write" -> read_write
+  | "read-most" -> read_most
+  | s -> invalid_arg ("unknown workload: " ^ s)
+
+type op = Insert | Delete | Get
+
+let pick t rng =
+  let roll = Smr_core.Rng.below rng 100 in
+  if roll < t.insert_pct then Insert
+  else if roll < t.insert_pct + t.delete_pct then Delete
+  else Get

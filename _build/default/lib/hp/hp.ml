@@ -1,0 +1,97 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Slots = Smr.Slots
+module Orphanage = Smr.Orphanage
+
+let name = "HP"
+let robust = true
+let supports_optimistic = false
+let counts_references = false
+let needs_protection = true
+
+type t = {
+  registry : Slots.registry;
+  stats : Stats.t;
+  config : Smr.Smr_intf.config;
+  orphans : Orphanage.t;
+}
+
+type handle = {
+  shared : t;
+  local : Slots.local;
+  mutable retireds : Mem.header list;
+  mutable retired_count : int;
+}
+
+type guard = { slot : Slots.slot }
+
+let create ?(config = Smr.Smr_intf.default_config) () =
+  {
+    registry = Slots.create ();
+    stats = Stats.create ();
+    config;
+    orphans = Orphanage.create ();
+  }
+
+let stats t = t.stats
+
+let register shared =
+  { shared; local = Slots.register shared.registry; retireds = []; retired_count = 0 }
+
+let crit_enter _ = ()
+let crit_exit _ = ()
+let crit_refresh _ = ()
+let protection_valid _ = true
+
+let guard h = { slot = Slots.acquire h.local }
+let protect g hdr = Slots.set g.slot hdr
+let release g = Slots.clear g.slot
+
+(* Paper Algorithm 2 Reclaim. The asymmetric-fence optimization makes the
+   reclaimer pay the (counted) heavy fence so that TryProtect pays none. *)
+let reclaim h =
+  let t = h.shared in
+  let rs = List.rev_append (Orphanage.pop_all t.orphans) h.retireds in
+  h.retireds <- [];
+  h.retired_count <- 0;
+  Stats.on_heavy_fence t.stats;
+  let protected_ = Slots.protected_set t.registry in
+  let keep =
+    List.filter
+      (fun hdr ->
+        if Hashtbl.mem protected_ (Mem.uid hdr) then true
+        else begin
+          Mem.free_mark hdr;
+          Stats.on_free t.stats;
+          false
+        end)
+      rs
+  in
+  h.retireds <- keep;
+  h.retired_count <- List.length keep
+
+let retire h hdr =
+  Mem.retire_mark hdr;
+  Stats.on_retire h.shared.stats;
+  h.retireds <- hdr :: h.retireds;
+  h.retired_count <- h.retired_count + 1;
+  if h.retired_count >= h.shared.config.reclaim_threshold then reclaim h
+
+let retire_with_children h hdr ~children:_ = retire h hdr
+let incr_ref _ = ()
+
+(* No frontier protection, no invalidation: unlink then classic retire. *)
+let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
+  match do_unlink () with
+  | None -> false
+  | Some nodes ->
+      List.iter (fun n -> retire h (node_header n)) nodes;
+      true
+
+let flush h = reclaim h
+
+let unregister h =
+  reclaim h;
+  Orphanage.add h.shared.orphans h.retireds;
+  h.retireds <- [];
+  h.retired_count <- 0

@@ -1,0 +1,40 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+
+let name = "NR"
+let robust = false
+let supports_optimistic = true
+let counts_references = false
+let needs_protection = false
+
+type t = Stats.t
+type handle = t
+type guard = unit
+
+let create ?config:_ () = Stats.create ()
+let stats t = t
+let register t = t
+let unregister _ = ()
+let crit_enter _ = ()
+let crit_exit _ = ()
+let crit_refresh _ = ()
+let guard _ = ()
+let protect () _ = ()
+let release () = ()
+let protection_valid _ = true
+
+let retire t hdr =
+  Mem.retire_mark hdr;
+  Stats.on_retire t
+
+let retire_with_children t hdr ~children:_ = retire t hdr
+let incr_ref _ = ()
+
+let try_unlink t ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
+  match do_unlink () with
+  | None -> false
+  | Some nodes ->
+      List.iter (fun n -> retire t (node_header n)) nodes;
+      true
+
+let flush _ = ()

@@ -1,0 +1,7 @@
+(** NR — the no-reclamation baseline of the paper's evaluation.
+
+    Every operation is free of reclamation overhead and every retired block
+    leaks. It bounds the best possible throughput and the worst possible
+    memory footprint of any real scheme. *)
+
+include Smr.Smr_intf.S

@@ -1,0 +1,186 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Slots = Smr.Slots
+
+let name = "PEBR"
+let robust = true
+let supports_optimistic = true
+let counts_references = false
+let needs_protection = true
+
+let quiescent = 0
+let pinned_at epoch = (epoch lsl 1) lor 1
+let is_pinned status = status land 1 = 1
+let pinned_epoch status = status lsr 1
+
+type t = {
+  stats : Stats.t;
+  config : Smr.Smr_intf.config;
+  global_epoch : int Atomic.t;
+  participants : participant list Atomic.t;
+  registry : Slots.registry;
+  orphans : (int * Mem.header) list Atomic.t;
+}
+
+and participant = {
+  status : int Atomic.t;
+  alive : bool Atomic.t;
+  neutralized : bool Atomic.t;
+}
+
+type handle = {
+  shared : t;
+  me : participant;
+  local : Slots.local;
+  mutable bag : (int * Mem.header) list;
+  mutable retires_since_collect : int;
+}
+
+type guard = { slot : Slots.slot }
+
+let create ?(config = Smr.Smr_intf.default_config) () =
+  {
+    stats = Stats.create ();
+    config;
+    global_epoch = Atomic.make 0;
+    participants = Atomic.make [];
+    registry = Slots.create ();
+    orphans = Atomic.make [];
+  }
+
+let stats t = t.stats
+let global_epoch t = Atomic.get t.global_epoch
+
+let rec push_participant t p =
+  let cur = Atomic.get t.participants in
+  if not (Atomic.compare_and_set t.participants cur (p :: cur)) then
+    push_participant t p
+
+let register shared =
+  let me =
+    {
+      status = Atomic.make quiescent;
+      alive = Atomic.make true;
+      neutralized = Atomic.make false;
+    }
+  in
+  push_participant shared me;
+  {
+    shared;
+    me;
+    local = Slots.register shared.registry;
+    bag = [];
+    retires_since_collect = 0;
+  }
+
+let crit_enter h =
+  Atomic.set h.me.neutralized false;
+  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch))
+
+let crit_exit h = Atomic.set h.me.status quiescent
+let crit_refresh h = crit_enter h
+
+let guard h = { slot = Slots.acquire h.local }
+let protect g hdr = Slots.set g.slot hdr
+let release g = Slots.clear g.slot
+
+let neutralized h = Atomic.get h.me.neutralized
+let protection_valid h = not (neutralized h)
+
+(* Advance the epoch. Without [force], this is EBR's rule: every live
+   pinned participant must have observed the current epoch. With [force]
+   (reclamation under memory pressure), laggards are {e neutralized} — their
+   blanket epoch protection is withdrawn, only their shields remain — and
+   the advance proceeds regardless. Either way, a participant that stays
+   non-neutralized and pinned at epoch [e] guarantees the global epoch is at
+   most [e + 1], which is the grace period the freeing rule relies on. *)
+let try_advance ?(force = false) t =
+  let epoch = Atomic.get t.global_epoch in
+  let clears p =
+    (not (Atomic.get p.alive))
+    ||
+    let s = Atomic.get p.status in
+    if not (is_pinned s) then true
+    else if pinned_epoch s = epoch then true
+    else if force then begin
+      Atomic.set p.neutralized true;
+      true
+    end
+    else false
+  in
+  if List.for_all clears (Atomic.get t.participants) then
+    ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
+
+let rec adopt_orphans t =
+  let cur = Atomic.get t.orphans in
+  match cur with
+  | [] -> []
+  | _ -> if Atomic.compare_and_set t.orphans cur [] then cur else adopt_orphans t
+
+(* Free blocks that are both epoch-ripe (grace period passed wrt
+   non-neutralized threads) and unshielded. The neutralization writes in
+   [try_advance] precede this shield snapshot, which is what makes the
+   shield-then-validate pattern of clients sound. *)
+let collect h =
+  let t = h.shared in
+  h.retires_since_collect <- 0;
+  try_advance t;
+  (* Memory pressure: the local bag outgrew [neutralize_lag] reclamation
+     thresholds, so force the epoch forward, ejecting stragglers. *)
+  if
+    List.length h.bag
+    >= t.config.neutralize_lag * t.config.reclaim_threshold
+  then try_advance ~force:true t;
+  let epoch = Atomic.get t.global_epoch in
+  Stats.on_heavy_fence t.stats;
+  let protected_ = Slots.protected_set t.registry in
+  let bag = List.rev_append (adopt_orphans t) h.bag in
+  let keep =
+    List.filter
+      (fun (e, hdr) ->
+        if e + 2 <= epoch && not (Hashtbl.mem protected_ (Mem.uid hdr)) then begin
+          Mem.free_mark hdr;
+          Stats.on_free t.stats;
+          false
+        end
+        else true)
+      bag
+  in
+  h.bag <- keep
+
+let retire h hdr =
+  Mem.retire_mark hdr;
+  Stats.on_retire h.shared.stats;
+  h.bag <- (Atomic.get h.shared.global_epoch, hdr) :: h.bag;
+  h.retires_since_collect <- h.retires_since_collect + 1;
+  if h.retires_since_collect >= h.shared.config.reclaim_threshold then collect h
+
+let retire_with_children h hdr ~children:_ = retire h hdr
+let incr_ref _ = ()
+
+let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
+  match do_unlink () with
+  | None -> false
+  | Some nodes ->
+      List.iter (fun n -> retire h (node_header n)) nodes;
+      true
+
+let flush h =
+  collect h;
+  collect h;
+  collect h
+
+let rec add_orphans t entries =
+  match entries with
+  | [] -> ()
+  | _ ->
+      let cur = Atomic.get t.orphans in
+      if not (Atomic.compare_and_set t.orphans cur (List.rev_append entries cur))
+      then add_orphans t entries
+
+let unregister h =
+  crit_exit h;
+  collect h;
+  add_orphans h.shared h.bag;
+  h.bag <- [];
+  Atomic.set h.me.alive false

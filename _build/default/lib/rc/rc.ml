@@ -1,0 +1,96 @@
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+
+let name = "RC"
+let robust = false
+let supports_optimistic = true
+let needs_protection = false
+let counts_references = true
+
+type t = {
+  ebr : Ebr.t;
+  stats : Stats.t;
+  (* Children closures registered by retire_with_children, looked up when a
+     block's count reaches zero so destruction cascades. The mutex is only
+     taken on retire/destroy, never on reads. *)
+  children_reg : (int, unit -> Mem.header list) Hashtbl.t;
+  reg_lock : Mutex.t;
+}
+
+type handle = { ebr_h : Ebr.handle; shared : t }
+type guard = unit
+
+let create ?(config = Smr.Smr_intf.default_config) () =
+  let ebr = Ebr.create ~config () in
+  {
+    ebr;
+    stats = Ebr.stats ebr;
+    children_reg = Hashtbl.create 256;
+    reg_lock = Mutex.create ();
+  }
+
+let stats t = t.stats
+let register t = { ebr_h = Ebr.register t.ebr; shared = t }
+let unregister h = Ebr.unregister h.ebr_h
+let crit_enter h = Ebr.crit_enter h.ebr_h
+let crit_exit h = Ebr.crit_exit h.ebr_h
+let crit_refresh h = Ebr.crit_refresh h.ebr_h
+let guard _ = ()
+let protect () _ = ()
+let release () = ()
+let protection_valid _ = true
+let incr_ref hdr = Atomic.incr (Mem.refcount hdr)
+
+let take_children t hdr =
+  Mutex.lock t.reg_lock;
+  let uid = Mem.uid hdr in
+  let children =
+    match Hashtbl.find_opt t.children_reg uid with
+    | Some f ->
+        Hashtbl.remove t.children_reg uid;
+        f ()
+    | None -> []
+  in
+  Mutex.unlock t.reg_lock;
+  children
+
+let register_children t hdr children =
+  Mutex.lock t.reg_lock;
+  Hashtbl.replace t.children_reg (Mem.uid hdr) children;
+  Mutex.unlock t.reg_lock
+
+(* Destroy a block whose last incoming link vanished; cascade into children
+   through the registry. Blocks reached only by cascade were never retired
+   explicitly, hence [free_mark_cascade] and the late [on_retire]. *)
+let rec destroy t hdr =
+  let children = take_children t hdr in
+  Mem.free_mark_cascade hdr;
+  Stats.on_free t.stats;
+  List.iter
+    (fun child ->
+      if Atomic.fetch_and_add (Mem.refcount child) (-1) = 1 then begin
+        if Mem.is_live child then Stats.on_retire t.stats;
+        destroy t child
+      end)
+    children
+
+let retire_with_children h hdr ~children =
+  (* The unlink removed one incoming link: defer the decrement through EBR
+     so concurrent snapshot holders finish first. *)
+  Mem.retire_mark hdr;
+  Stats.on_retire h.shared.stats;
+  register_children h.shared hdr children;
+  let t = h.shared in
+  Ebr.defer h.ebr_h (fun () ->
+      if Atomic.fetch_and_add (Mem.refcount hdr) (-1) = 1 then destroy t hdr)
+
+let retire h hdr = retire_with_children h hdr ~children:(fun () -> [])
+
+let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
+  match do_unlink () with
+  | None -> false
+  | Some nodes ->
+      List.iter (fun n -> retire h (node_header n)) nodes;
+      true
+
+let flush h = Ebr.flush h.ebr_h

@@ -1,0 +1,1 @@
+lib/smr/orphanage.ml: Atomic List Smr_core

@@ -1,0 +1,1 @@
+lib/smr/orphanage.mli: Smr_core

@@ -1,0 +1,1 @@
+lib/smr/registry.ml: Format

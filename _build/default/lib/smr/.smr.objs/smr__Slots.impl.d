@@ -1,0 +1,1 @@
+lib/smr/slots.ml: Array Atomic Hashtbl List Smr_core

@@ -1,0 +1,1 @@
+lib/smr/slots.mli: Hashtbl Smr_core

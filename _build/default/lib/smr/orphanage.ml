@@ -1,0 +1,17 @@
+type t = Smr_core.Mem.header list Atomic.t
+
+let create () = Atomic.make []
+
+let rec add t hdrs =
+  match hdrs with
+  | [] -> ()
+  | _ ->
+      let cur = Atomic.get t in
+      if not (Atomic.compare_and_set t cur (List.rev_append hdrs cur)) then
+        add t hdrs
+
+let rec pop_all t =
+  let cur = Atomic.get t in
+  match cur with
+  | [] -> []
+  | _ -> if Atomic.compare_and_set t cur [] then cur else pop_all t

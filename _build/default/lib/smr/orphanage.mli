@@ -1,0 +1,9 @@
+(** A shared bag where unregistering handles leave blocks that are retired
+    but still protected by others; any later reclamation pass adopts them.
+    (The paper's global [retireds: ConcurrentStack<void*>].) *)
+
+type t
+
+val create : unit -> t
+val add : t -> Smr_core.Mem.header list -> unit
+val pop_all : t -> Smr_core.Mem.header list

@@ -1,0 +1,234 @@
+type scheme_criteria = {
+  scheme : string;
+  system_requirement : string;
+  failure_condition : string;
+  failure_handling : string;
+  overhead : string;
+  unreclaimed_bound : string;
+}
+
+let table1 =
+  [
+    {
+      scheme = "PEBR";
+      system_requirement = "heavy fence (optional)";
+      failure_condition = "neutralization";
+      failure_handling = "custom handling";
+      overhead =
+        "protection, validation, critical section protection on phase \
+         change, critical section validation";
+      unreclaimed_bound = "O(hazards + neutralization threshold)";
+    };
+    {
+      scheme = "NBR";
+      system_requirement = "signal, non-local jump";
+      failure_condition = "neutralization";
+      failure_handling = "only applicable to access-aware DS";
+      overhead = "critical section protection on phase change";
+      unreclaimed_bound = "O(hazards + neutralization threshold)";
+    };
+    {
+      scheme = "VBR";
+      system_requirement = "custom allocator, wide CAS";
+      failure_condition = "outdated object/field";
+      failure_handling = "custom handling";
+      overhead = "validation";
+      unreclaimed_bound = "O(threads)";
+    };
+    {
+      scheme = "HP++";
+      system_requirement = "heavy fence (optional)";
+      failure_condition = "invalidated object";
+      failure_handling = "custom handling";
+      overhead = "protection, validation, frontier protection, invalidation";
+      unreclaimed_bound = "O(hazards + frontiers + reclamation threshold)";
+    };
+  ]
+
+type support = Yes | No | No_wait_freedom | Custom_recovery | Restructuring
+
+let pp_support ppf = function
+  | Yes -> Format.pp_print_string ppf "v"
+  | No -> Format.pp_print_string ppf "x"
+  | No_wait_freedom -> Format.pp_print_string ppf "^" (* wait-freedom lost *)
+  | Custom_recovery -> Format.pp_print_string ppf "*"
+  | Restructuring -> Format.pp_print_string ppf "**"
+
+type applicability_row = {
+  structure : string;
+  implemented_as : string option;
+  hp : support;
+  debra_plus : support;
+  nbr : support;
+  ebr : support;
+  hp_plus_class : support;
+}
+
+(* Paper Table 2 (adapted from Singh et al. with the paper's fixes). Rows
+   with [implemented_as = Some m] are built in this repo and their HP /
+   HP++-class cells are enforced at runtime by the functors. *)
+let table2 =
+  [
+    {
+      structure = "linked list (Heller et al. lazy list) [32]";
+      implemented_as = Some "Lazylist";
+      hp = No;
+      debra_plus = No;
+      nbr = No_wait_freedom;
+      ebr = Yes;
+      hp_plus_class = No_wait_freedom;
+    };
+    {
+      structure = "linked list (Harris) [30]";
+      implemented_as = Some "Hhslist";
+      hp = No;
+      debra_plus = Custom_recovery;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "linked list (Harris-Michael) [44]";
+      implemented_as = Some "Hmlist";
+      hp = Yes;
+      debra_plus = Custom_recovery;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "partially ext. BST (Drachsler et al.) [24]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = No;
+      nbr = Restructuring;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. BST (Ellen et al.) [26]";
+      implemented_as = Some "Efrbtree";
+      hp = Yes;
+      debra_plus = Custom_recovery;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. BST (Natarajan-Mittal) [48]";
+      implemented_as = Some "Nmtree";
+      hp = No;
+      debra_plus = Custom_recovery;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. BST (Ellen et al., amortized) [25]";
+      implemented_as = None;
+      hp = Yes;
+      debra_plus = Custom_recovery;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. BST (David et al.) [18]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = No;
+      nbr = No_wait_freedom;
+      ebr = Yes;
+      hp_plus_class = No_wait_freedom;
+    };
+    {
+      structure = "int. BST (Howley-Jones) [36]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Custom_recovery;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "int. BST (Ramachandran-Mittal) [50]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = No;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "partially ext. AVL (Bronson et al.) [6]";
+      implemented_as = None;
+      hp = Yes;
+      debra_plus = No;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "partially ext. AVL (Drachsler et al.) [24]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = No;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. relaxed AVL (He-Li) [31]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Yes;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. AVL (Brown) [8]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Yes;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "patricia trie (Shafiei) [53]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Custom_recovery;
+      nbr = No_wait_freedom;
+      ebr = Yes;
+      hp_plus_class = No_wait_freedom;
+    };
+    {
+      structure = "ext. chromatic tree (Brown et al.) [9]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Yes;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. (a,b)-tree (Brown) [8]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = Yes;
+      nbr = Yes;
+      ebr = Yes;
+      hp_plus_class = Yes;
+    };
+    {
+      structure = "ext. interpolation tree (Brown et al.) [10]";
+      implemented_as = None;
+      hp = No;
+      debra_plus = No;
+      nbr = No;
+      ebr = Yes;
+      hp_plus_class = No_wait_freedom;
+    };
+  ]

@@ -1,0 +1,36 @@
+(** Static metadata behind the paper's qualitative tables.
+
+    Table 1 compares robust, widely applicable schemes on system
+    requirements, failure condition/handling, overhead, and the bound on
+    unreclaimed objects. Table 2 is the applicability matrix of schemes to
+    concurrent data structures. Both are regenerated (and the implemented
+    subset of Table 2 is cross-checked against the functors' runtime
+    [Unsupported_scheme] behaviour) by [bench/main.exe exp tab1|tab2]. *)
+
+type scheme_criteria = {
+  scheme : string;
+  system_requirement : string;
+  failure_condition : string;
+  failure_handling : string;
+  overhead : string;
+  unreclaimed_bound : string;
+}
+
+val table1 : scheme_criteria list
+
+type support = Yes | No | No_wait_freedom | Custom_recovery | Restructuring
+
+val pp_support : Format.formatter -> support -> unit
+
+type applicability_row = {
+  structure : string;
+  implemented_as : string option;
+      (** module in [smr_ds] when this repo implements the structure *)
+  hp : support;
+  debra_plus : support;
+  nbr : support;
+  ebr : support;
+  hp_plus_class : support;  (** HP++, PEBR, VBR column *)
+}
+
+val table2 : applicability_row list

@@ -1,0 +1,66 @@
+module Mem = Smr_core.Mem
+
+type slot = Mem.header option Atomic.t
+
+let chunk_size = 64
+
+type chunk = slot array
+
+type registry = { chunks : chunk list Atomic.t }
+
+type local = {
+  registry : registry;
+  mutable free : slot list;
+  mutable owned : int; (* slots handed out, for diagnostics *)
+}
+
+let create () = { chunks = Atomic.make [] }
+
+let rec push_chunk registry chunk =
+  let cur = Atomic.get registry.chunks in
+  if not (Atomic.compare_and_set registry.chunks cur (chunk :: cur)) then
+    push_chunk registry chunk
+
+let new_chunk () = Array.init chunk_size (fun _ -> Atomic.make None)
+
+let register registry =
+  let chunk = new_chunk () in
+  push_chunk registry chunk;
+  { registry; free = Array.to_list chunk; owned = 0 }
+
+let acquire local =
+  match local.free with
+  | s :: rest ->
+      local.free <- rest;
+      local.owned <- local.owned + 1;
+      s
+  | [] ->
+      let chunk = new_chunk () in
+      push_chunk local.registry chunk;
+      local.free <- List.tl (Array.to_list chunk);
+      local.owned <- local.owned + 1;
+      chunk.(0)
+
+let set slot hdr = Atomic.set slot (Some hdr)
+let clear slot = Atomic.set slot None
+let get slot = Atomic.get slot
+
+let release local slot =
+  clear slot;
+  local.owned <- local.owned - 1;
+  local.free <- slot :: local.free
+
+let protected_set registry =
+  let table = Hashtbl.create 64 in
+  let scan_chunk chunk =
+    Array.iter
+      (fun slot ->
+        match Atomic.get slot with
+        | Some hdr -> Hashtbl.replace table (Mem.uid hdr) ()
+        | None -> ())
+      chunk
+  in
+  List.iter scan_chunk (Atomic.get registry.chunks);
+  table
+
+let total_slots registry = chunk_size * List.length (Atomic.get registry.chunks)

@@ -1,0 +1,33 @@
+(** Hazard-pointer slot machinery shared by HP, HP++ and PEBR.
+
+    A {e slot} is a single-writer multi-reader cell announcing protection of
+    one block. Slots live in per-handle chunks that are registered in a
+    global chunk list, so reclaimers can always scan every slot ever
+    published; chunks are never removed, which keeps scans safe without
+    locks (the paper's [hazards: ConcurrentList<HazptrRecord>]). *)
+
+type registry
+type local
+type slot
+
+val create : unit -> registry
+
+val register : registry -> local
+(** Create this thread's slot block. Single-threaded use per [local]. *)
+
+val acquire : local -> slot
+(** Get an empty slot (paper's MakeHazptr). *)
+
+val set : slot -> Smr_core.Mem.header -> unit
+val clear : slot -> unit
+
+val get : slot -> Smr_core.Mem.header option
+
+val release : local -> slot -> unit
+(** Clear the slot and return it to the owner's free list. *)
+
+val protected_set : registry -> (int, unit) Hashtbl.t
+(** Snapshot of the uids of all currently protected blocks (the hazard
+    scan). Linear in the total number of slots. *)
+
+val total_slots : registry -> int

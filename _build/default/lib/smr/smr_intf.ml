@@ -1,0 +1,127 @@
+(** The unified interface every reclamation scheme implements.
+
+    Data structures in [smr_ds] are functors over {!S}, so one implementation
+    serves every scheme; capability flags select code paths and reject
+    unsound combinations exactly where the paper marks "not applicable". *)
+
+exception Unsupported_scheme of string
+(** Raised by a data-structure functor instantiated with a scheme that
+    cannot protect its traversal (e.g. Harris's list with the original HP:
+    paper §2.3, Table 2). *)
+
+(** Tuning knobs shared across schemes; each scheme reads the fields it
+    understands and ignores the rest. Defaults follow the paper's
+    evaluation (§5): reclaim every 128 retires/unlinks, invalidate every 32
+    unlinks. *)
+type config = {
+  reclaim_threshold : int;  (** retires (or try_unlinks) between Reclaim calls *)
+  invalidate_threshold : int;  (** try_unlinks between DoInvalidation calls (HP++) *)
+  epoched_fence : bool;  (** HP++: use Algorithm 5 instead of Algorithm 3 *)
+  neutralize_lag : int;
+      (** PEBR: memory-pressure multiplier — when a thread's retired bag
+          exceeds [neutralize_lag * reclaim_threshold], the epoch is forced
+          forward and lagging critical sections are neutralized *)
+}
+
+let default_config =
+  {
+    reclaim_threshold = 128;
+    invalidate_threshold = 32;
+    epoched_fence = true;
+    neutralize_lag = 2;
+  }
+
+module type S = sig
+  val name : string
+
+  val robust : bool
+  (** Bounded garbage even with stalled threads (paper §4.4). *)
+
+  val supports_optimistic : bool
+  (** May traverse chains of logically deleted nodes (paper §2.3). *)
+
+  val needs_protection : bool
+  (** Per-pointer protect/validate required before dereferencing (HP
+      family). When [false] (EBR/NR/RC), [protect] is a no-op and data
+      structures skip validation. *)
+
+  val counts_references : bool
+  (** The scheme tracks incoming-link counts ({!incr_ref} is meaningful and
+      structures with shared subobjects must retire through
+      {!retire_with_children} so destruction cascades). Only RC. *)
+
+  type t
+  (** One reclamation domain: shared state + statistics. *)
+
+  type handle
+  (** Per-thread participant state. Not thread-safe; one per domain. *)
+
+  type guard
+  (** A hazard slot (or a no-op token for critical-section schemes). *)
+
+  val create : ?config:config -> unit -> t
+  val stats : t -> Smr_core.Stats.t
+
+  val register : t -> handle
+
+  val unregister : handle -> unit
+  (** Flush local bags (hand leftovers to the shared orphanage) and stop
+      participating in epoch/hazard protocols. *)
+
+  (** {1 Critical sections} — no-ops for HP-family schemes. *)
+
+  val crit_enter : handle -> unit
+  val crit_exit : handle -> unit
+
+  val crit_refresh : handle -> unit
+  (** Re-announce presence (and clear any neutralization): used by data
+      structures when restarting an operation after a protection failure. *)
+
+  (** {1 Per-pointer protection} — no-ops for critical-section schemes. *)
+
+  val guard : handle -> guard
+  val protect : guard -> Smr_core.Mem.header -> unit
+  val release : guard -> unit
+
+  val protection_valid : handle -> bool
+  (** Scheme-level part of protection validation. [false] only when the
+      scheme has withdrawn this thread's blanket protection (PEBR
+      neutralization); the link-level part of validation is the data
+      structure's job. *)
+
+  (** {1 Retirement} *)
+
+  val retire : handle -> Smr_core.Mem.header -> unit
+  (** Classic retirement of a single already-unlinked block (Treiber pop,
+      Michael–Scott dequeue, HP-style unlink). *)
+
+  val retire_with_children :
+    handle -> Smr_core.Mem.header -> children:(unit -> Smr_core.Mem.header list) -> unit
+  (** Like {!retire}; reference-counting schemes use [children] to cascade
+      decrements when the block is actually destroyed. Others ignore it. *)
+
+  val incr_ref : Smr_core.Mem.header -> unit
+  (** Announce an additional incoming link (shared subtrees in Bonsai).
+      No-op except for reference counting. *)
+
+  val try_unlink :
+    handle ->
+    frontier:Smr_core.Mem.header list ->
+    do_unlink:(unit -> 'n list option) ->
+    node_header:('n -> Smr_core.Mem.header) ->
+    invalidate:('n list -> unit) ->
+    bool
+  (** HP++ Algorithm 3 TryUnlink: protect the [frontier], run [do_unlink];
+      on success, [invalidate] runs over the returned nodes at the deferred
+      DoInvalidation point (before the frontier protection is revoked and
+      before any of them can be reclaimed), and the nodes are then retired.
+      [invalidate] may also capture and invalidate links that carry no
+      retirement of their own — a skiplist severing one level of a tower
+      passes the fully-unlinked node list (possibly empty) while always
+      invalidating the severed level's link. Schemes that need no patch-up
+      implement this as [do_unlink] + retire and never call [invalidate].
+      Returns whether [do_unlink] succeeded. *)
+
+  val flush : handle -> unit
+  (** Force pending invalidation and a reclamation pass. *)
+end

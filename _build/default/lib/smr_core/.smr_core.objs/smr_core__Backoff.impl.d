@@ -1,0 +1,1 @@
+lib/smr_core/backoff.ml: Domain

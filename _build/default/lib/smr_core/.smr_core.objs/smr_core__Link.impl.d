@@ -1,0 +1,1 @@
+lib/smr_core/link.ml: Atomic Tagged

@@ -1,0 +1,12 @@
+type t = { min_spins : int; max_spins : int; mutable spins : int }
+
+let create ?(min_spins = 4) ?(max_spins = 1024) () =
+  { min_spins; max_spins; spins = min_spins }
+
+let once t =
+  for _ = 1 to t.spins do
+    Domain.cpu_relax ()
+  done;
+  if t.spins < t.max_spins then t.spins <- t.spins * 2
+
+let reset t = t.spins <- t.min_spins

@@ -1,0 +1,9 @@
+(** Truncated exponential backoff for CAS retry loops. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+val once : t -> unit
+(** Spin for the current budget, then double it (up to the cap). *)
+
+val reset : t -> unit

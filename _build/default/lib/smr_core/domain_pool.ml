@@ -1,0 +1,51 @@
+module Barrier = struct
+  type t = { size : int; arrived : int Atomic.t; generation : int Atomic.t }
+
+  let create size = { size; arrived = Atomic.make 0; generation = Atomic.make 0 }
+
+  let wait t =
+    let gen = Atomic.get t.generation in
+    if 1 + Atomic.fetch_and_add t.arrived 1 = t.size then begin
+      Atomic.set t.arrived 0;
+      Atomic.incr t.generation
+    end
+    else
+      while Atomic.get t.generation = gen do
+        Domain.cpu_relax ()
+      done
+end
+
+type 'a outcome = Value of 'a | Raised of exn
+
+let collect results =
+  Array.map (function Value v -> v | Raised e -> raise e) results
+
+let run ~n f =
+  let barrier = Barrier.create n in
+  let body i () =
+    Barrier.wait barrier;
+    match f i with v -> Value v | exception e -> Raised e
+  in
+  let domains = Array.init n (fun i -> Domain.spawn (body i)) in
+  collect (Array.map Domain.join domains)
+
+let run_timed ~n ~duration f =
+  let stop_flag = Atomic.make false in
+  let stop () = Atomic.get stop_flag in
+  (* A dedicated timer domain flips [stop_flag]; workers poll it. The timer
+     sleeps, so on a single-core host it barely perturbs the workload. *)
+  let barrier = Barrier.create (n + 1) in
+  let worker i () =
+    Barrier.wait barrier;
+    match f i ~stop with v -> Value v | exception e -> Raised e
+  in
+  let domains = Array.init n (fun i -> Domain.spawn (worker i)) in
+  let timer =
+    Domain.spawn (fun () ->
+        Barrier.wait barrier;
+        Unix.sleepf duration;
+        Atomic.set stop_flag true)
+  in
+  let results = Array.map Domain.join domains in
+  Domain.join timer;
+  collect results

@@ -1,0 +1,19 @@
+(** Spawn-and-join helpers for multi-domain tests and benchmarks. *)
+
+val run : n:int -> (int -> 'a) -> 'a array
+(** [run ~n f] spawns [n] domains, releases them through a start barrier so
+    work begins simultaneously, runs [f i] on domain [i], joins all, and
+    returns the results in index order. If any domain raises, the exception
+    is re-raised in the caller after all domains are joined. *)
+
+val run_timed : n:int -> duration:float -> (int -> stop:(unit -> bool) -> 'a) -> 'a array
+(** Like {!run} but hands each worker a [stop] predicate that flips to [true]
+    after [duration] seconds (measured by domain 0's wall clock proxy in the
+    caller). Workers must poll [stop] frequently. *)
+
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  val wait : t -> unit
+end

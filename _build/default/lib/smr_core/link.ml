@@ -1,0 +1,13 @@
+type 'a t = 'a Tagged.t Atomic.t
+
+let make tagged = Atomic.make tagged
+let null () = Atomic.make Tagged.null
+let get = Atomic.get
+let cas l expected desired = Atomic.compare_and_set l expected desired
+
+let cas_clean l expected desired =
+  Tagged.tag expected = 0 && Atomic.compare_and_set l expected desired
+let set = Atomic.set
+
+let mark_invalid l =
+  Atomic.set l (Tagged.set_bits (Atomic.get l) Tagged.invalid_bit)

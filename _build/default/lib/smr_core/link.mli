@@ -1,0 +1,28 @@
+(** An atomic tagged link: one mutable pointer field of a node. *)
+
+type 'a t
+
+val make : 'a Tagged.t -> 'a t
+val null : unit -> 'a t
+val get : 'a t -> 'a Tagged.t
+
+val cas : 'a t -> 'a Tagged.t -> 'a Tagged.t -> bool
+(** Compare-and-set by physical equality of the tagged record previously
+    read with {!get}. *)
+
+val cas_clean : 'a t -> 'a Tagged.t -> 'a Tagged.t -> bool
+(** Like {!cas}, but additionally fails when [expected] carries any tag
+    bits. This emulates the paper's value-semantics
+    [compare_exchange(untagged_ptr, desired)]: structural CASes (insert,
+    unlink) must fail if the source link was logically deleted or
+    invalidated in the meantime — even when the traversal legitimately kept
+    going past that point (optimistic traversal may hold a tagged record of
+    the link after HP++'s TryProtect chased a concurrent update). *)
+
+val set : 'a t -> 'a Tagged.t -> unit
+(** Plain store. HP++ invalidation is allowed to use a store instead of an
+    RMW because links of to-be-unlinked nodes no longer change
+    (Assumption 1). *)
+
+val mark_invalid : 'a t -> unit
+(** [set] the invalidation bit, preserving pointer and other tag bits. *)

@@ -1,0 +1,47 @@
+exception Use_after_free of int
+exception Double_retire of int
+exception Invalid_free of int
+
+let state_live = 0
+let state_retired = 1
+let state_freed = 2
+
+type header = { uid : int; state : int Atomic.t; refcount : int Atomic.t }
+
+let uid_counter = Atomic.make 0
+let enabled = Atomic.make true
+
+let make stats =
+  Stats.on_alloc stats;
+  {
+    uid = Atomic.fetch_and_add uid_counter 1;
+    state = Atomic.make state_live;
+    refcount = Atomic.make 1;
+  }
+
+let refcount h = h.refcount
+
+let uid h = h.uid
+let is_live h = Atomic.get h.state = state_live
+let is_retired h = Atomic.get h.state = state_retired
+let is_freed h = Atomic.get h.state = state_freed
+
+let retire_mark h =
+  if not (Atomic.compare_and_set h.state state_live state_retired) then
+    raise (Double_retire h.uid)
+
+let free_mark h =
+  if not (Atomic.compare_and_set h.state state_retired state_freed) then
+    raise (Invalid_free h.uid)
+
+let free_mark_cascade h =
+  let s = Atomic.get h.state in
+  if s = state_freed || not (Atomic.compare_and_set h.state s state_freed)
+  then raise (Invalid_free h.uid)
+
+let check_access h =
+  if Atomic.get enabled && Atomic.get h.state = state_freed then
+    raise (Use_after_free h.uid)
+
+let set_checking b = Atomic.set enabled b
+let checking () = Atomic.get enabled

@@ -1,0 +1,20 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below";
+  let v = Int64.to_int (next t) land max_int in
+  v mod n
+
+let float t =
+  let v = Int64.to_int (next t) land ((1 lsl 53) - 1) in
+  Float.of_int v /. Float.of_int (1 lsl 53)

@@ -1,0 +1,12 @@
+(** SplitMix64: a tiny, fast, per-thread deterministic PRNG for workload
+    generation. Each worker owns one state; no sharing, no locks. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int64
+val below : t -> int -> int
+(** Uniform int in [\[0, n)]. [n] must be positive. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)

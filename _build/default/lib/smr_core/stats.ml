@@ -1,0 +1,71 @@
+type t = {
+  allocated : int Atomic.t;
+  freed : int Atomic.t;
+  retired_total : int Atomic.t;
+  unreclaimed : int Atomic.t;
+  peak_unreclaimed : int Atomic.t;
+  peak_live : int Atomic.t;
+  heavy_fences : int Atomic.t;
+  protection_failures : int Atomic.t;
+}
+
+let create () =
+  {
+    allocated = Atomic.make 0;
+    freed = Atomic.make 0;
+    retired_total = Atomic.make 0;
+    unreclaimed = Atomic.make 0;
+    peak_unreclaimed = Atomic.make 0;
+    peak_live = Atomic.make 0;
+    heavy_fences = Atomic.make 0;
+    protection_failures = Atomic.make 0;
+  }
+
+let reset t =
+  Atomic.set t.allocated 0;
+  Atomic.set t.freed 0;
+  Atomic.set t.retired_total 0;
+  Atomic.set t.unreclaimed 0;
+  Atomic.set t.peak_unreclaimed 0;
+  Atomic.set t.peak_live 0;
+  Atomic.set t.heavy_fences 0;
+  Atomic.set t.protection_failures 0
+
+(* Monotone max update; contention is rare (only on new peaks). *)
+let rec update_peak peak v =
+  let cur = Atomic.get peak in
+  if v > cur && not (Atomic.compare_and_set peak cur v) then update_peak peak v
+
+let allocated t = Atomic.get t.allocated
+let freed t = Atomic.get t.freed
+let live t = allocated t - freed t
+let unreclaimed t = Atomic.get t.unreclaimed
+let peak_unreclaimed t = Atomic.get t.peak_unreclaimed
+let peak_live t = Atomic.get t.peak_live
+let retired_total t = Atomic.get t.retired_total
+let heavy_fences t = Atomic.get t.heavy_fences
+let protection_failures t = Atomic.get t.protection_failures
+
+let on_alloc t =
+  Atomic.incr t.allocated;
+  update_peak t.peak_live (live t)
+
+let on_retire t =
+  Atomic.incr t.retired_total;
+  let v = 1 + Atomic.fetch_and_add t.unreclaimed 1 in
+  update_peak t.peak_unreclaimed v
+
+let on_free t =
+  Atomic.incr t.freed;
+  ignore (Atomic.fetch_and_add t.unreclaimed (-1))
+
+let on_discard t = Atomic.incr t.freed
+let on_heavy_fence t = Atomic.incr t.heavy_fences
+let on_protection_failure t = Atomic.incr t.protection_failures
+
+let pp ppf t =
+  Format.fprintf ppf
+    "alloc=%d freed=%d live=%d unreclaimed=%d peak_unreclaimed=%d \
+     peak_live=%d heavy_fences=%d protection_failures=%d"
+    (allocated t) (freed t) (live t) (unreclaimed t) (peak_unreclaimed t)
+    (peak_live t) (heavy_fences t) (protection_failures t)

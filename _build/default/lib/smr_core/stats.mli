@@ -1,0 +1,50 @@
+(** Allocation/retirement/reclamation accounting for one reclamation domain.
+
+    This is the measurement substrate for the paper's memory-footprint
+    figures: peak and instantaneous counts of blocks that are retired but not
+    yet reclaimed (Figures 11, 15–17, 21–23), live blocks (Figures 18–20),
+    and heavy-fence counts (Algorithm 5 ablation). All counters are atomic
+    and safe to update from any domain. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Reset all counters and peaks to zero. Only call at quiescence. *)
+
+(** {1 Events recorded by schemes and data structures} *)
+
+val on_alloc : t -> unit
+val on_retire : t -> unit
+(** A block became garbage: unlinked/retired but not yet reclaimed. *)
+
+val on_free : t -> unit
+(** A retired block was reclaimed. *)
+
+val on_discard : t -> unit
+(** A freshly allocated block was dropped before ever being linked (e.g. a
+    failed insert of a duplicate key): counts as freed without passing
+    through retirement. *)
+
+val on_heavy_fence : t -> unit
+val on_protection_failure : t -> unit
+(** A [try_protect]-style validation failed and the caller must recover. *)
+
+(** {1 Readings} *)
+
+val allocated : t -> int
+val freed : t -> int
+val live : t -> int
+(** Blocks allocated and not yet freed (live + garbage). *)
+
+val unreclaimed : t -> int
+(** Blocks retired and not yet freed: the robustness metric. *)
+
+val peak_unreclaimed : t -> int
+val peak_live : t -> int
+val retired_total : t -> int
+val heavy_fences : t -> int
+val protection_failures : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type 'a t = { ptr : 'a option; tag : int }
+
+let deleted_bit = 1
+let invalid_bit = 2
+
+let make ?(tag = 0) ptr = { ptr; tag }
+let null = { ptr = None; tag = 0 }
+let ptr t = t.ptr
+let tag t = t.tag
+
+let get_exn t =
+  match t.ptr with
+  | Some v -> v
+  | None -> invalid_arg "Tagged.get_exn: null pointer"
+
+let is_null t = t.ptr = None
+let is_deleted t = t.tag land deleted_bit <> 0
+let is_invalid t = t.tag land invalid_bit <> 0
+let with_tag t tag = { t with tag }
+let set_bits t bits = { t with tag = t.tag lor bits }
+let untagged t = if t.tag = 0 then t else { t with tag = 0 }
+
+let same_ptr a b =
+  match (a.ptr, b.ptr) with
+  | None, None -> true
+  | Some x, Some y -> x == y
+  | _ -> false

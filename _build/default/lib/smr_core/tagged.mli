@@ -1,0 +1,39 @@
+(** Tagged pointers, the paper's low-bit encoding lifted to records.
+
+    The C/Rust implementations pack mark bits into pointer low bits. Here a
+    tagged pointer is an immutable record [{ptr; tag}] stored in an
+    [Atomic.t]; CAS compares the record physically, which gives the same
+    single-word CAS semantics. Bit 0 ([deleted]) is logical deletion
+    (Harris); bit 1 ([invalid]) is HP++ invalidation (§3.2). *)
+
+type 'a t = private { ptr : 'a option; tag : int }
+
+val deleted_bit : int
+val invalid_bit : int
+
+val make : ?tag:int -> 'a option -> 'a t
+val null : 'a t
+(** [{ptr = None; tag = 0}]. *)
+
+val ptr : 'a t -> 'a option
+val tag : 'a t -> int
+
+val get_exn : 'a t -> 'a
+(** @raise Invalid_argument on null. *)
+
+val is_null : 'a t -> bool
+val is_deleted : 'a t -> bool
+val is_invalid : 'a t -> bool
+
+val with_tag : 'a t -> int -> 'a t
+(** Same pointer, new tag (fresh record: safe wrt physical-equality CAS). *)
+
+val set_bits : 'a t -> int -> 'a t
+(** OR extra bits into the tag. *)
+
+val untagged : 'a t -> 'a t
+(** Same pointer, tag 0. Used by HP++ validation, which must ignore logical
+    deletion marks (Algorithm 3 line 9). *)
+
+val same_ptr : 'a t -> 'a t -> bool
+(** Physical equality of targets, ignoring tags. *)

@@ -1,0 +1,1 @@
+test/test_bonsai.ml: Alcotest Atomic Ebr Hp Hp_plus List Nr Pebr Rc Smr Smr_core Smr_ds Test_support

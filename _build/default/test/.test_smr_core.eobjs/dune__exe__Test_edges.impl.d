@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Ebr Hp Hp_plus List Smr_core Smr_ds

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Ebr Hashtbl Hp Hp_plus List Nr Pebr QCheck2 QCheck_alcotest Rc Smr Smr_core Smr_ds Test_support

@@ -1,0 +1,1 @@
+test/test_maps.ml: Alcotest Ebr Hp Hp_plus List Nr Pebr Rc Smr_core Smr_ds Test_support

@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Array Ebr Hashtbl Hp Hp_plus List Nr Pebr Rc Smr Smr_core Smr_ds

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Hp_plus Smr Smr_core Smr_ds

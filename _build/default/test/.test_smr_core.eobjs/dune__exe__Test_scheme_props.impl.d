@@ -1,0 +1,1 @@
+test/test_scheme_props.ml: Alcotest Array Ebr Hp Hp_plus List Nr Pebr QCheck2 QCheck_alcotest Rc Smr Smr_core

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Ebr Hp Hp_plus List Nr Pebr Rc Smr Smr_core Smr_ds

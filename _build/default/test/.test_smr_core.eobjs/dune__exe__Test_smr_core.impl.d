@@ -1,0 +1,1 @@
+test/test_smr_core.ml: Alcotest Array List QCheck2 QCheck_alcotest Smr_core

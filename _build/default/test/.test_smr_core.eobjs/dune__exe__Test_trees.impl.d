@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Ebr Hp Hp_plus Nr Pebr Rc Smr Smr_core Smr_ds Test_support

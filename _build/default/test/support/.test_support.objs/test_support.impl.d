@@ -1,0 +1,1 @@
+test/support/test_support.ml: Alcotest Array Fun Hashtbl Linearizability List Printf QCheck2 QCheck_alcotest Smr Smr_core

@@ -1,0 +1,1 @@
+test/support/linearizability.ml: Array Atomic Hashtbl List Option

@@ -1,0 +1,114 @@
+(* A linearizability checker for concurrent set histories.
+
+   Workers record every operation with invocation/response timestamps drawn
+   from one global atomic counter, giving a sound real-time partial order:
+   op A precedes op B iff A responded before B was invoked.
+
+   Sets (and maps keyed by disjoint operations) are products of independent
+   one-key objects, so a history is linearizable iff each per-key
+   subhistory is. Each per-key subhistory is checked exactly with the
+   Wing–Gong search: repeatedly pick an operation that no other remaining
+   operation wholly precedes, apply the sequential set specification to its
+   observed result, and backtrack on contradiction; memoization on
+   (remaining set, abstract state) keeps it fast for test-sized
+   histories. *)
+
+type op = Insert | Remove | Get
+
+type event = {
+  op : op;
+  key : int;
+  ok : bool; (* insert/remove success; get = found *)
+  inv : int;
+  res : int;
+}
+
+type recorder = { clock : int Atomic.t; mutable events : event list }
+
+let make_recorder () = { clock = Atomic.make 0; events = [] }
+
+(* One per worker; merge after the run (workers are joined first, so the
+   merge is race-free). *)
+type thread_log = { recorder : recorder; mutable log : event list }
+
+let thread_log recorder = { recorder; log = [] }
+
+let record tl ~op ~key f =
+  let inv = Atomic.fetch_and_add tl.recorder.clock 1 in
+  let ok = f () in
+  let res = Atomic.fetch_and_add tl.recorder.clock 1 in
+  tl.log <- { op; key; ok; inv; res } :: tl.log;
+  ok
+
+let merge recorder logs =
+  recorder.events <-
+    List.concat_map (fun tl -> tl.log) logs @ recorder.events
+
+(* Sequential one-key set spec: state is presence. Returns the new state
+   when the observed result is consistent, or None. *)
+let step present (e : event) =
+  match (e.op, e.ok, present) with
+  | Insert, true, false -> Some true
+  | Insert, false, true -> Some true
+  | Remove, true, true -> Some false
+  | Remove, false, false -> Some false
+  | Get, found, p when found = p -> Some p
+  | _ -> None
+
+exception Not_linearizable of int (* offending key *)
+
+let check_key key (events : event array) =
+  let n = Array.length events in
+  if n > 62 then
+    invalid_arg "Linearizability.check: more than 62 events on one key";
+  let all_mask = if n = 62 then -1 lsr 1 else (1 lsl n) - 1 in
+  let memo = Hashtbl.create 256 in
+  (* [go remaining present] = can the remaining ops be linearized from
+     [present]? *)
+  let rec go remaining present =
+    if remaining = 0 then true
+    else
+      let memo_key = (remaining * 2) + if present then 1 else 0 in
+      match Hashtbl.find_opt memo memo_key with
+      | Some r -> r
+      | None ->
+          (* an op is a candidate iff no other remaining op responded
+             before it was invoked *)
+          let min_res = ref max_int in
+          for i = 0 to n - 1 do
+            if remaining land (1 lsl i) <> 0 && events.(i).res < !min_res
+            then min_res := events.(i).res
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let bit = 1 lsl !i in
+            if remaining land bit <> 0 && events.(!i).inv < !min_res then begin
+              match step present events.(!i) with
+              | Some present' ->
+                  if go (remaining land lnot bit) present' then ok := true
+              | None -> ()
+            end;
+            incr i
+          done;
+          Hashtbl.replace memo memo_key !ok;
+          !ok
+  in
+  if not (go all_mask false) then raise (Not_linearizable key)
+
+let check recorder =
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace by_key e.key
+        (e :: Option.value ~default:[] (Hashtbl.find_opt by_key e.key)))
+    recorder.events;
+  Hashtbl.iter
+    (fun key events ->
+      let arr = Array.of_list events in
+      (* sort by invocation for deterministic candidate iteration *)
+      Array.sort (fun a b -> compare a.inv b.inv) arr;
+      check_key key arr)
+    by_key
+
+let total_events recorder = List.length recorder.events

@@ -1,0 +1,146 @@
+(* Targeted edge cases that the generic suites don't isolate. *)
+
+module Stats = Smr_core.Stats
+
+(* Every key colliding into one bucket turns the hash map into a single
+   deep list: exercises bucket-chain traversal and reclamation. *)
+let test_hashmap_single_bucket () =
+  let module M = Smr_ds.Hashmap.Make (Hp_plus) in
+  let scheme = Hp_plus.create () in
+  let t = M.create_sized ~buckets:1 scheme in
+  let h = Hp_plus.register scheme in
+  let lo = M.make_local h in
+  for k = 0 to 199 do
+    assert (M.insert t lo k (k * 3))
+  done;
+  Alcotest.(check int) "all in one bucket" 200 (M.size t);
+  for k = 0 to 199 do
+    Alcotest.(check (option int)) "get" (Some (k * 3)) (M.get t lo k)
+  done;
+  for k = 0 to 199 do
+    if k mod 2 = 1 then assert (M.remove t lo k)
+  done;
+  Alcotest.(check int) "evens remain" 100 (M.size t);
+  M.clear_local lo;
+  Hp_plus.flush h;
+  Hp_plus.flush h;
+  Alcotest.(check int) "drained" 0 (Stats.unreclaimed (Hp_plus.stats scheme));
+  Hp_plus.unregister h
+
+(* Negative and extreme keys on the lists and skiplist (the BSTs document
+   their sentinel bound and reject keys >= max_int - 1). *)
+let test_negative_and_extreme_keys () =
+  let module L = Smr_ds.Hhslist.Make (Hp_plus) in
+  let scheme = Hp_plus.create () in
+  let t = L.create scheme in
+  let h = Hp_plus.register scheme in
+  let lo = L.make_local h in
+  let keys = [ min_int; -1_000_000; -1; 0; 1; 1_000_000; max_int ] in
+  List.iter (fun k -> assert (L.insert t lo k (k lxor 1))) keys;
+  Alcotest.(check (list int)) "sorted over full int range"
+    (List.sort compare keys)
+    (List.map fst (L.to_list t));
+  List.iter
+    (fun k -> Alcotest.(check (option int)) "get" (Some (k lxor 1)) (L.get t lo k))
+    keys;
+  List.iter (fun k -> assert (L.remove t lo k)) keys;
+  Alcotest.(check int) "empty" 0 (L.size t);
+  L.clear_local lo;
+  Hp_plus.unregister h
+
+let test_skiplist_negative_keys () =
+  let module Sk = Smr_ds.Skiplist.Make (Ebr) in
+  let scheme = Ebr.create () in
+  let t = Sk.create scheme in
+  let h = Ebr.register scheme in
+  let lo = Sk.make_local h in
+  for k = -50 to 50 do
+    assert (Sk.insert t lo k k)
+  done;
+  Alcotest.(check int) "size" 101 (Sk.size t);
+  Alcotest.(check (option int)) "negative get" (Some (-37)) (Sk.get t lo (-37));
+  assert (Sk.remove t lo (-50));
+  assert (not (Sk.remove t lo (-50)));
+  Sk.clear_local lo;
+  Ebr.unregister h
+
+(* BST boundary keys: largest legal key and the sentinel rejection. *)
+let test_tree_boundary_keys () =
+  let module T = Smr_ds.Nmtree.Make (Hp_plus) in
+  let scheme = Hp_plus.create () in
+  let t = T.create scheme in
+  let h = Hp_plus.register scheme in
+  let lo = T.make_local h in
+  let biggest = max_int - 2 in
+  assert (T.insert t lo 0 0);
+  assert (T.insert t lo biggest 99);
+  Alcotest.(check (option int)) "largest legal key" (Some 99)
+    (T.get t lo biggest);
+  assert (T.remove t lo biggest);
+  Alcotest.check_raises "sentinel key rejected"
+    (Invalid_argument "Nmtree: key too large") (fun () ->
+      ignore (T.insert t lo (max_int - 1) 0));
+  T.clear_local lo;
+  Hp_plus.unregister h
+
+(* Emptying and refilling repeatedly must not confuse reclamation, for a
+   structure with sentinels (tree) and one without (list). *)
+let test_refill_cycles () =
+  let module L = Smr_ds.Hmlist.Make (Hp) in
+  let scheme = Hp.create () in
+  let t = L.create scheme in
+  let h = Hp.register scheme in
+  let lo = L.make_local h in
+  for round = 1 to 50 do
+    for k = 1 to 20 do
+      assert (L.insert t lo k (k * round))
+    done;
+    for k = 1 to 20 do
+      assert (L.remove t lo k)
+    done;
+    Alcotest.(check int) "empty between rounds" 0 (L.size t)
+  done;
+  L.clear_local lo;
+  Hp.flush h;
+  Alcotest.(check int) "all reclaimed" 0 (Stats.unreclaimed (Hp.stats scheme));
+  Hp.unregister h
+
+(* Guards can be re-acquired and reused across many operations without
+   leaking slots: the slot registry stays constant after warm-up. *)
+let test_slot_reuse () =
+  let module L = Smr_ds.Hhslist.Make (Hp_plus) in
+  let scheme = Hp_plus.create () in
+  let t = L.create scheme in
+  let h = Hp_plus.register scheme in
+  let lo = L.make_local h in
+  for k = 1 to 500 do
+    assert (L.insert t lo k k);
+    assert (L.remove t lo k)
+  done;
+  (* allocation count is bounded: exactly one node per insert, plus the
+     insert code never leaks discarded nodes *)
+  let st = Hp_plus.stats scheme in
+  Alcotest.(check int) "one allocation per insert" 500 (Stats.allocated st);
+  L.clear_local lo;
+  Hp_plus.flush h;
+  Hp_plus.flush h;
+  Alcotest.(check int) "all freed" 500 (Stats.freed st);
+  Hp_plus.unregister h
+
+let () =
+  Alcotest.run "edges"
+    [
+      ( "edge cases",
+        [
+          Alcotest.test_case "hashmap single bucket" `Quick
+            test_hashmap_single_bucket;
+          Alcotest.test_case "negative/extreme keys" `Quick
+            test_negative_and_extreme_keys;
+          Alcotest.test_case "skiplist negative keys" `Quick
+            test_skiplist_negative_keys;
+          Alcotest.test_case "tree boundary keys" `Quick
+            test_tree_boundary_keys;
+          Alcotest.test_case "refill cycles" `Quick test_refill_cycles;
+          Alcotest.test_case "allocation accounting" `Quick test_slot_reuse;
+        ] );
+    ]

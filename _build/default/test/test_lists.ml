@@ -1,0 +1,91 @@
+(* Correctness tests for HMList and HHSList across all applicable schemes:
+   sequential oracle checks, qcheck properties, and multi-domain stress with
+   the use-after-free detector on. *)
+
+module Stats = Smr_core.Stats
+module Suite = Test_support.Suite
+
+module Hm_hp = Suite (Hp) (Smr_ds.Hmlist.Make (Hp))
+module Hm_hpp = Suite (Hp_plus) (Smr_ds.Hmlist.Make (Hp_plus))
+module Hm_ebr = Suite (Ebr) (Smr_ds.Hmlist.Make (Ebr))
+module Hm_pebr = Suite (Pebr) (Smr_ds.Hmlist.Make (Pebr))
+module Hm_rc = Suite (Rc) (Smr_ds.Hmlist.Make (Rc))
+module Hm_nr = Suite (Nr) (Smr_ds.Hmlist.Make (Nr))
+module Hhs_hpp = Suite (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus))
+module Hhs_ebr = Suite (Ebr) (Smr_ds.Hhslist.Make (Ebr))
+module Hhs_pebr = Suite (Pebr) (Smr_ds.Hhslist.Make (Pebr))
+module Hhs_rc = Suite (Rc) (Smr_ds.Hhslist.Make (Rc))
+module Hhs_nr = Suite (Nr) (Smr_ds.Hhslist.Make (Nr))
+module Lz_hpp = Suite (Hp_plus) (Smr_ds.Lazylist.Make (Hp_plus))
+module Lz_ebr = Suite (Ebr) (Smr_ds.Lazylist.Make (Ebr))
+module Lz_pebr = Suite (Pebr) (Smr_ds.Lazylist.Make (Pebr))
+module Lz_rc = Suite (Rc) (Smr_ds.Lazylist.Make (Rc))
+module Lz_nr = Suite (Nr) (Smr_ds.Lazylist.Make (Nr))
+
+(* The paper's applicability matrix, enforced at runtime: Harris's list
+   cannot be protected by the original HP. *)
+let test_hhslist_rejects_hp () =
+  let module L = Smr_ds.Hhslist.Make (Hp) in
+  let scheme = Hp.create () in
+  match L.create scheme with
+  | (_ : int L.t) -> Alcotest.fail "HHSList must reject HP"
+  | exception Smr.Smr_intf.Unsupported_scheme _ -> ()
+
+let test_lazylist_rejects_hp () =
+  let module L = Smr_ds.Lazylist.Make (Hp) in
+  let scheme = Hp.create () in
+  match L.create scheme with
+  | (_ : int L.t) -> Alcotest.fail "Lazylist must reject HP"
+  | exception Smr.Smr_intf.Unsupported_scheme _ -> ()
+
+(* HP++ variant ablation: both fence strategies drive the lists safely. *)
+let test_hpp_plain_fence_list () =
+  let module L = Smr_ds.Hhslist.Make (Hp_plus) in
+  let scheme =
+    Hp_plus.create
+      ~config:{ Smr.Smr_intf.default_config with epoched_fence = false }
+      ()
+  in
+  let t = L.create scheme in
+  let h = Hp_plus.register scheme in
+  let lo = L.make_local h in
+  for k = 1 to 100 do
+    assert (L.insert t lo k k)
+  done;
+  for k = 1 to 100 do
+    if k mod 2 = 0 then assert (L.remove t lo k)
+  done;
+  Alcotest.(check int) "odd keys remain" 50 (L.size t);
+  L.clear_local lo;
+  Hp_plus.flush h;
+  Hp_plus.flush h;
+  Alcotest.(check int) "drained" 0 (Stats.unreclaimed (Hp_plus.stats scheme));
+  Hp_plus.unregister h
+
+let () =
+  Alcotest.run "lists"
+    [
+      ("hmlist:HP", Hm_hp.tests);
+      ("hmlist:HP++", Hm_hpp.tests);
+      ("hmlist:EBR", Hm_ebr.tests);
+      ("hmlist:PEBR", Hm_pebr.tests);
+      ("hmlist:RC", Hm_rc.tests);
+      ("hmlist:NR", Hm_nr.tests);
+      ("hhslist:HP++", Hhs_hpp.tests);
+      ("hhslist:EBR", Hhs_ebr.tests);
+      ("hhslist:PEBR", Hhs_pebr.tests);
+      ("hhslist:RC", Hhs_rc.tests);
+      ("hhslist:NR", Hhs_nr.tests);
+      ("lazylist:HP++", Lz_hpp.tests);
+      ("lazylist:EBR", Lz_ebr.tests);
+      ("lazylist:PEBR", Lz_pebr.tests);
+      ("lazylist:RC", Lz_rc.tests);
+      ("lazylist:NR", Lz_nr.tests);
+      ( "applicability",
+        [
+          Alcotest.test_case "HHSList rejects HP" `Quick test_hhslist_rejects_hp;
+          Alcotest.test_case "Lazylist rejects HP" `Quick
+            test_lazylist_rejects_hp;
+          Alcotest.test_case "HP++ plain fence" `Quick test_hpp_plain_fence_list;
+        ] );
+    ]

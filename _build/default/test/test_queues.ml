@@ -1,0 +1,171 @@
+(* Treiber stack and Michael-Scott queue across schemes. *)
+
+module Stack = Smr_ds.Treiber_stack
+module Queue_ = Smr_ds.Ms_queue
+module Stats = Smr_core.Stats
+module Pool = Smr_core.Domain_pool
+module Rng = Smr_core.Rng
+
+module Stack_suite (S : Smr.Smr_intf.S) = struct
+  module T = Stack.Make (S)
+
+  let test_sequential () =
+    let scheme = S.create () in
+    let t = T.create scheme in
+    let h = S.register scheme in
+    let lo = T.make_local h in
+    Alcotest.(check (option int)) "pop empty" None (T.pop t lo);
+    T.push t lo 1;
+    T.push t lo 2;
+    T.push t lo 3;
+    Alcotest.(check (option int)) "peek" (Some 3) (T.peek t lo);
+    Alcotest.(check (option int)) "pop lifo" (Some 3) (T.pop t lo);
+    Alcotest.(check (option int)) "pop lifo" (Some 2) (T.pop t lo);
+    Alcotest.(check int) "length" 1 (T.length t);
+    T.clear_local lo;
+    S.flush h;
+    S.unregister h
+
+  let test_concurrent_push_pop () =
+    let scheme = S.create () in
+    let t = T.create scheme in
+    let popped = Array.make 4 [] in
+    let _ =
+      Pool.run ~n:4 (fun i ->
+          let h = S.register scheme in
+          let lo = T.make_local h in
+          for k = 0 to 199 do
+            T.push t lo ((i * 1000) + k)
+          done;
+          let mine = ref [] in
+          for _ = 0 to 199 do
+            match T.pop t lo with
+            | Some v -> mine := v :: !mine
+            | None -> ()
+          done;
+          popped.(i) <- !mine;
+          T.clear_local lo;
+          S.unregister h)
+    in
+    (* every pushed element is popped exactly once or still on the stack *)
+    let all_popped = List.concat (Array.to_list popped) in
+    let remaining = T.to_list t in
+    let together = List.sort compare (all_popped @ remaining) in
+    Alcotest.(check int) "nothing lost or duplicated" 800
+      (List.length (List.sort_uniq compare together));
+    Alcotest.(check int) "count" 800 (List.length together)
+
+  let tests =
+    [
+      Alcotest.test_case "sequential" `Quick test_sequential;
+      Alcotest.test_case "concurrent push/pop" `Quick test_concurrent_push_pop;
+    ]
+end
+
+module Queue_suite (S : Smr.Smr_intf.S) = struct
+  module Q = Queue_.Make (S)
+
+  let test_sequential () =
+    let scheme = S.create () in
+    let t = Q.create scheme in
+    let h = S.register scheme in
+    let lo = Q.make_local h in
+    Alcotest.(check (option int)) "dequeue empty" None (Q.dequeue t lo);
+    Q.enqueue t lo 1;
+    Q.enqueue t lo 2;
+    Q.enqueue t lo 3;
+    Alcotest.(check (option int)) "fifo" (Some 1) (Q.dequeue t lo);
+    Alcotest.(check (option int)) "fifo" (Some 2) (Q.dequeue t lo);
+    Q.enqueue t lo 4;
+    Alcotest.(check (option int)) "fifo" (Some 3) (Q.dequeue t lo);
+    Alcotest.(check (option int)) "fifo" (Some 4) (Q.dequeue t lo);
+    Alcotest.(check (option int)) "empty again" None (Q.dequeue t lo);
+    Q.clear_local lo;
+    S.flush h;
+    S.unregister h
+
+  let test_concurrent_fifo_per_producer () =
+    let scheme = S.create () in
+    let t = Q.create scheme in
+    (* producers 0,1 enqueue increasing sequences; consumers 2,3 drain; per
+       producer order must be preserved in the interleaving each consumer
+       sees *)
+    let consumed = Array.make 4 [] in
+    let _ =
+      Pool.run ~n:4 (fun i ->
+          let h = S.register scheme in
+          let lo = Q.make_local h in
+          if i < 2 then
+            for k = 0 to 299 do
+              Q.enqueue t lo ((i * 10000) + k)
+            done
+          else begin
+            let mine = ref [] in
+            let misses = ref 0 in
+            while !misses < 1000 do
+              match Q.dequeue t lo with
+              | Some v ->
+                  mine := v :: !mine;
+                  misses := 0
+              | None -> incr misses
+            done;
+            consumed.(i) <- List.rev !mine
+          end;
+          Q.clear_local lo;
+          S.unregister h)
+    in
+    let rest = Q.to_list t in
+    let all = consumed.(2) @ consumed.(3) @ rest in
+    Alcotest.(check int) "nothing lost or duplicated" 600
+      (List.length (List.sort_uniq compare all));
+    (* per-producer FIFO within each consumer's stream *)
+    Array.iter
+      (fun stream ->
+        let last = Hashtbl.create 2 in
+        List.iter
+          (fun v ->
+            let producer = v / 10000 in
+            (match Hashtbl.find_opt last producer with
+            | Some prev ->
+                Alcotest.(check bool) "per-producer order" true (v > prev)
+            | None -> ());
+            Hashtbl.replace last producer v)
+          stream)
+      [| consumed.(2); consumed.(3) |]
+
+  let tests =
+    [
+      Alcotest.test_case "sequential" `Quick test_sequential;
+      Alcotest.test_case "concurrent fifo" `Quick test_concurrent_fifo_per_producer;
+    ]
+end
+
+module St_hp = Stack_suite (Hp)
+module St_hpp = Stack_suite (Hp_plus)
+module St_ebr = Stack_suite (Ebr)
+module St_pebr = Stack_suite (Pebr)
+module St_rc = Stack_suite (Rc)
+module St_nr = Stack_suite (Nr)
+module Qu_hp = Queue_suite (Hp)
+module Qu_hpp = Queue_suite (Hp_plus)
+module Qu_ebr = Queue_suite (Ebr)
+module Qu_pebr = Queue_suite (Pebr)
+module Qu_rc = Queue_suite (Rc)
+module Qu_nr = Queue_suite (Nr)
+
+let () =
+  Alcotest.run "queues"
+    [
+      ("treiber:HP", St_hp.tests);
+      ("treiber:HP++", St_hpp.tests);
+      ("treiber:EBR", St_ebr.tests);
+      ("treiber:PEBR", St_pebr.tests);
+      ("treiber:RC", St_rc.tests);
+      ("treiber:NR", St_nr.tests);
+      ("msqueue:HP", Qu_hp.tests);
+      ("msqueue:HP++", Qu_hpp.tests);
+      ("msqueue:EBR", Qu_ebr.tests);
+      ("msqueue:PEBR", Qu_pebr.tests);
+      ("msqueue:RC", Qu_rc.tests);
+      ("msqueue:NR", Qu_nr.tests);
+    ]

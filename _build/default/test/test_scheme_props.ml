@@ -1,0 +1,104 @@
+(* Property-based fuzzing of the SMR lifecycle contract, per scheme.
+
+   A random script of API calls is run against a pool of blocks while an
+   oracle tracks what the scheme is allowed to do:
+   - a block that was protected before being retired must never be freed
+     while the protection is held (for protecting schemes);
+   - a block must never be freed without having been retired (the Mem state
+     machine raises on that by itself);
+   - after releasing all protections and flushing, every retired block must
+     be freed (except under NR, which never frees). *)
+
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+
+module Fuzz (S : Smr.Smr_intf.S) = struct
+  (* Script ops over a pool of [blocks] block slots and [guards] guards:
+     0 = retire block i (if live and unretired)
+     1 = protect block i with guard g (only meaningful pre-retirement)
+     2 = release guard g
+     3 = flush *)
+  let interpret script =
+    let t = S.create () in
+    let h = S.register t in
+    let n_blocks = 8 and n_guards = 3 in
+    let blocks = Array.init n_blocks (fun _ -> Mem.make (S.stats t)) in
+    let retired = Array.make n_blocks false in
+    let guards = Array.init n_guards (fun _ -> S.guard h) in
+    let guarding = Array.make n_guards (-1) in
+    let ok = ref true in
+    List.iter
+      (fun (op, i, g) ->
+        let i = i mod n_blocks and g = g mod n_guards in
+        match op mod 4 with
+        | 0 ->
+            if not retired.(i) then begin
+              retired.(i) <- true;
+              S.retire h blocks.(i)
+            end
+        | 1 ->
+            (* protect only blocks not yet retired: that is the regime in
+               which HP-family protection is guaranteed to stick (a data
+               structure validates reachability for exactly this reason) *)
+            if not retired.(i) then begin
+              S.protect guards.(g) blocks.(i);
+              guarding.(g) <- i
+            end
+        | 2 ->
+            S.release guards.(g);
+            guarding.(g) <- -1
+        | _ ->
+            S.flush h;
+            (* no block protected since before its retirement may be freed *)
+            if S.needs_protection then
+              Array.iter
+                (fun b ->
+                  if b >= 0 && Mem.is_freed blocks.(b) then ok := false)
+                guarding)
+      script;
+    (* teardown: release everything, flush twice; all retired blocks must
+       now be reclaimed (except NR) *)
+    Array.iter S.release guards;
+    S.flush h;
+    S.flush h;
+    Array.iteri
+      (fun i b ->
+        if retired.(i) then begin
+          let freed = Mem.is_freed b in
+          if S.name = "NR" then (if freed then ok := false)
+          else if not freed then ok := false
+        end)
+      blocks;
+    S.unregister h;
+    !ok
+
+  let prop =
+    QCheck2.Test.make
+      ~name:("SMR lifecycle fuzz (" ^ S.name ^ ")")
+      ~count:100
+      QCheck2.Gen.(
+        list_size (int_range 1 60)
+          (triple (int_range 0 3) (int_range 0 7) (int_range 0 2)))
+      interpret
+end
+
+module F_hp = Fuzz (Hp)
+module F_hpp = Fuzz (Hp_plus)
+module F_ebr = Fuzz (Ebr)
+module F_pebr = Fuzz (Pebr)
+module F_rc = Fuzz (Rc)
+module F_nr = Fuzz (Nr)
+
+let () =
+  Alcotest.run "scheme_props"
+    [
+      ( "lifecycle fuzz",
+        [
+          QCheck_alcotest.to_alcotest F_hp.prop;
+          QCheck_alcotest.to_alcotest F_hpp.prop;
+          QCheck_alcotest.to_alcotest F_ebr.prop;
+          QCheck_alcotest.to_alcotest F_pebr.prop;
+          QCheck_alcotest.to_alcotest F_rc.prop;
+          QCheck_alcotest.to_alcotest F_nr.prop;
+        ] );
+    ]

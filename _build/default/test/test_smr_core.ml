@@ -1,0 +1,281 @@
+(* Unit and property tests for the smr_core substrate. *)
+
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Rng = Smr_core.Rng
+module Domain_pool = Smr_core.Domain_pool
+
+let test_mem_lifecycle () =
+  let stats = Stats.create () in
+  let h = Mem.make stats in
+  Alcotest.(check bool) "live" true (Mem.is_live h);
+  Mem.check_access h;
+  Mem.retire_mark h;
+  Alcotest.(check bool) "retired" true (Mem.is_retired h);
+  Mem.check_access h;
+  (* retired but protected blocks are accessible *)
+  Mem.free_mark h;
+  Alcotest.(check bool) "freed" true (Mem.is_freed h);
+  Alcotest.check_raises "UAF detected" (Mem.Use_after_free (Mem.uid h))
+    (fun () -> Mem.check_access h)
+
+let test_mem_double_retire () =
+  let stats = Stats.create () in
+  let h = Mem.make stats in
+  Mem.retire_mark h;
+  Alcotest.check_raises "double retire" (Mem.Double_retire (Mem.uid h))
+    (fun () -> Mem.retire_mark h)
+
+let test_mem_invalid_free () =
+  let stats = Stats.create () in
+  let h = Mem.make stats in
+  Alcotest.check_raises "free live" (Mem.Invalid_free (Mem.uid h)) (fun () ->
+      Mem.free_mark h);
+  Mem.retire_mark h;
+  Mem.free_mark h;
+  Alcotest.check_raises "double free" (Mem.Invalid_free (Mem.uid h))
+    (fun () -> Mem.free_mark h)
+
+let test_mem_cascade_free () =
+  let stats = Stats.create () in
+  let h = Mem.make stats in
+  Mem.free_mark_cascade h;
+  (* live -> freed allowed *)
+  Alcotest.(check bool) "freed" true (Mem.is_freed h);
+  Alcotest.check_raises "double cascade free" (Mem.Invalid_free (Mem.uid h))
+    (fun () -> Mem.free_mark_cascade h)
+
+let test_mem_checking_toggle () =
+  let stats = Stats.create () in
+  let h = Mem.make stats in
+  Mem.retire_mark h;
+  Mem.free_mark h;
+  Mem.set_checking false;
+  Mem.check_access h;
+  (* no raise while disabled *)
+  Mem.set_checking true;
+  Alcotest.check_raises "re-enabled" (Mem.Use_after_free (Mem.uid h))
+    (fun () -> Mem.check_access h)
+
+let test_mem_uid_unique () =
+  let stats = Stats.create () in
+  let hs = List.init 100 (fun _ -> Mem.make stats) in
+  let uids = List.sort_uniq compare (List.map Mem.uid hs) in
+  Alcotest.(check int) "unique uids" 100 (List.length uids)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.on_alloc s;
+  Stats.on_alloc s;
+  Stats.on_alloc s;
+  Stats.on_retire s;
+  Stats.on_retire s;
+  Stats.on_free s;
+  Alcotest.(check int) "allocated" 3 (Stats.allocated s);
+  Alcotest.(check int) "live" 2 (Stats.live s);
+  Alcotest.(check int) "unreclaimed" 1 (Stats.unreclaimed s);
+  Alcotest.(check int) "peak unreclaimed" 2 (Stats.peak_unreclaimed s);
+  Alcotest.(check int) "retired total" 2 (Stats.retired_total s);
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.allocated s)
+
+let test_stats_discard () =
+  let s = Stats.create () in
+  Stats.on_alloc s;
+  Stats.on_discard s;
+  Alcotest.(check int) "live after discard" 0 (Stats.live s);
+  Alcotest.(check int) "unreclaimed untouched" 0 (Stats.unreclaimed s)
+
+let test_stats_concurrent_peak () =
+  let s = Stats.create () in
+  let _ =
+    Domain_pool.run ~n:4 (fun _ ->
+        for _ = 1 to 1000 do
+          Stats.on_retire s;
+          Stats.on_free s
+        done)
+  in
+  Alcotest.(check int) "unreclaimed drains" 0 (Stats.unreclaimed s);
+  Alcotest.(check bool) "peak positive" true (Stats.peak_unreclaimed s >= 1);
+  Alcotest.(check int) "retired total" 4000 (Stats.retired_total s)
+
+let test_tagged_basics () =
+  let t = Tagged.make ~tag:0 (Some 42) in
+  Alcotest.(check bool) "not deleted" false (Tagged.is_deleted t);
+  let d = Tagged.set_bits t Tagged.deleted_bit in
+  Alcotest.(check bool) "deleted" true (Tagged.is_deleted d);
+  Alcotest.(check bool) "not invalid" false (Tagged.is_invalid d);
+  let i = Tagged.set_bits d Tagged.invalid_bit in
+  Alcotest.(check bool) "deleted+invalid" true
+    (Tagged.is_deleted i && Tagged.is_invalid i);
+  Alcotest.(check int) "untag" 0 (Tagged.tag (Tagged.untagged i));
+  Alcotest.(check bool) "null" true (Tagged.is_null Tagged.null);
+  Alcotest.(check int) "get_exn" 42 (Tagged.get_exn t)
+
+let test_tagged_same_ptr () =
+  let a = ref 1 and b = ref 1 in
+  let ta = Tagged.make (Some a) in
+  let ta' = Tagged.make ~tag:3 (Some a) in
+  let tb = Tagged.make (Some b) in
+  Alcotest.(check bool) "same target, tags differ" true
+    (Tagged.same_ptr ta ta');
+  Alcotest.(check bool) "equal but distinct refs" false (Tagged.same_ptr ta tb);
+  Alcotest.(check bool) "null = null" true
+    (Tagged.same_ptr Tagged.null Tagged.null);
+  Alcotest.(check bool) "null vs some" false (Tagged.same_ptr Tagged.null ta)
+
+let test_link_cas_physical () =
+  let n1 = ref 1 and n2 = ref 2 in
+  let t1 = Tagged.make (Some n1) in
+  let link = Link.make t1 in
+  let t1_lookalike = Tagged.make (Some n1) in
+  Alcotest.(check bool) "CAS with a re-made record fails" false
+    (Link.cas link t1_lookalike (Tagged.make (Some n2)));
+  Alcotest.(check bool) "CAS with the read record succeeds" true
+    (Link.cas link t1 (Tagged.make (Some n2)))
+
+let test_link_mark_invalid () =
+  let n = ref 0 in
+  let link = Link.make (Tagged.make ~tag:Tagged.deleted_bit (Some n)) in
+  Link.mark_invalid link;
+  let v = Link.get link in
+  Alcotest.(check bool) "keeps deleted bit" true (Tagged.is_deleted v);
+  Alcotest.(check bool) "gains invalid bit" true (Tagged.is_invalid v);
+  Alcotest.(check bool) "keeps pointer" true
+    (match Tagged.ptr v with Some p -> p == n | None -> false)
+
+let test_backoff_caps () =
+  let b = Smr_core.Backoff.create ~min_spins:2 ~max_spins:8 () in
+  (* growth doubles and saturates at the cap without raising *)
+  for _ = 1 to 10 do
+    Smr_core.Backoff.once b
+  done;
+  Smr_core.Backoff.reset b;
+  Smr_core.Backoff.once b
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_below_range () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let v = Rng.below r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_barrier_releases_all () =
+  let results =
+    Domain_pool.run ~n:4 (fun i ->
+        (* all four must arrive before any proceeds *)
+        i * i)
+  in
+  Alcotest.(check (array int)) "results in order" [| 0; 1; 4; 9 |] results
+
+let test_pool_propagates_exception () =
+  match Domain_pool.run ~n:2 (fun i -> if i = 1 then failwith "boom" else 0) with
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected exception"
+
+let test_run_timed_stops () =
+  let counts =
+    Domain_pool.run_timed ~n:2 ~duration:0.1 (fun _ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          incr n
+        done;
+        !n)
+  in
+  Array.iter (fun c -> Alcotest.(check bool) "did work" true (c > 0)) counts
+
+(* qcheck: the Mem state machine never admits an illegal transition. *)
+let prop_mem_state_machine =
+  QCheck2.Test.make ~name:"mem state machine rejects illegal transitions"
+    ~count:200
+    QCheck2.Gen.(list (int_range 0 2))
+    (fun script ->
+      let stats = Stats.create () in
+      let h = Mem.make stats in
+      let state = ref `Live in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 -> (
+              match (!state, Mem.retire_mark h) with
+              | `Live, () ->
+                  state := `Retired;
+                  true
+              | _ -> false
+              | exception Mem.Double_retire _ -> !state <> `Live)
+          | 1 -> (
+              match (!state, Mem.free_mark h) with
+              | `Retired, () ->
+                  state := `Freed;
+                  true
+              | _ -> false
+              | exception Mem.Invalid_free _ -> !state <> `Retired)
+          | _ -> (
+              match Mem.check_access h with
+              | () -> !state <> `Freed
+              | exception Mem.Use_after_free _ -> !state = `Freed))
+        script)
+
+let prop_tagged_bits =
+  QCheck2.Test.make ~name:"tag bit algebra" ~count:500
+    QCheck2.Gen.(pair (int_range 0 7) bool)
+    (fun (tag, with_ptr) ->
+      let ptr = if with_ptr then Some (ref 0) else None in
+      let t = Tagged.make ~tag ptr in
+      Tagged.tag (Tagged.untagged t) = 0
+      && Tagged.is_deleted (Tagged.set_bits t Tagged.deleted_bit)
+      && Tagged.is_invalid (Tagged.set_bits t Tagged.invalid_bit)
+      && Tagged.same_ptr t (Tagged.untagged t))
+
+let () =
+  Alcotest.run "smr_core"
+    [
+      ( "mem",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_mem_lifecycle;
+          Alcotest.test_case "double retire" `Quick test_mem_double_retire;
+          Alcotest.test_case "invalid free" `Quick test_mem_invalid_free;
+          Alcotest.test_case "cascade free" `Quick test_mem_cascade_free;
+          Alcotest.test_case "checking toggle" `Quick test_mem_checking_toggle;
+          Alcotest.test_case "uid uniqueness" `Quick test_mem_uid_unique;
+          QCheck_alcotest.to_alcotest prop_mem_state_machine;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "discard" `Quick test_stats_discard;
+          Alcotest.test_case "concurrent peak" `Quick test_stats_concurrent_peak;
+        ] );
+      ( "tagged",
+        [
+          Alcotest.test_case "basics" `Quick test_tagged_basics;
+          Alcotest.test_case "same_ptr" `Quick test_tagged_same_ptr;
+          QCheck_alcotest.to_alcotest prop_tagged_bits;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "physical CAS" `Quick test_link_cas_physical;
+          Alcotest.test_case "mark invalid" `Quick test_link_mark_invalid;
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "grows and caps" `Quick test_backoff_caps ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "below range" `Quick test_rng_below_range;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "barrier" `Quick test_barrier_releases_all;
+          Alcotest.test_case "exceptions" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "run_timed" `Quick test_run_timed_stops;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Tree data structures across applicable schemes. *)
+
+module Suite = Test_support.Suite
+module Nmtree = Smr_ds.Nmtree
+module Efrbtree = Smr_ds.Efrbtree
+
+module Nm_hpp = Suite (Hp_plus) (Nmtree.Make (Hp_plus))
+module Nm_ebr = Suite (Ebr) (Nmtree.Make (Ebr))
+module Nm_pebr = Suite (Pebr) (Nmtree.Make (Pebr))
+module Nm_rc = Suite (Rc) (Nmtree.Make (Rc))
+module Nm_nr = Suite (Nr) (Nmtree.Make (Nr))
+
+module Ef_hp = Suite (Hp) (Efrbtree.Make (Hp))
+module Ef_hpp = Suite (Hp_plus) (Efrbtree.Make (Hp_plus))
+module Ef_ebr = Suite (Ebr) (Efrbtree.Make (Ebr))
+module Ef_pebr = Suite (Pebr) (Efrbtree.Make (Pebr))
+module Ef_nr = Suite (Nr) (Efrbtree.Make (Nr))
+
+let test_efrbtree_rejects_rc () =
+  let module T = Efrbtree.Make (Rc) in
+  let scheme = Rc.create () in
+  match T.create scheme with
+  | (_ : int T.t) -> Alcotest.fail "EFRBTree must reject RC"
+  | exception Smr.Smr_intf.Unsupported_scheme _ -> ()
+
+let test_nmtree_rejects_hp () =
+  let module T = Nmtree.Make (Hp) in
+  let scheme = Hp.create () in
+  match T.create scheme with
+  | (_ : int T.t) -> Alcotest.fail "NMTree must reject HP"
+  | exception Smr.Smr_intf.Unsupported_scheme _ -> ()
+
+let test_nmtree_key_bound () =
+  let module T = Nmtree.Make (Ebr) in
+  let scheme = Ebr.create () in
+  let t = T.create scheme in
+  let h = Ebr.register scheme in
+  let lo = T.make_local h in
+  Alcotest.check_raises "rejects sentinel keys"
+    (Invalid_argument "Nmtree: key too large") (fun () ->
+      ignore (T.insert t lo max_int 0));
+  T.clear_local lo;
+  Ebr.unregister h
+
+(* Splicing a chain of pending deletions in one CAS is the NMTree behaviour
+   HP++ exists for; drive deep towers of deletions sequentially. *)
+let test_nmtree_bulk_delete_drains () =
+  let module T = Nmtree.Make (Hp_plus) in
+  let scheme = Hp_plus.create () in
+  let t = T.create scheme in
+  let h = Hp_plus.register scheme in
+  let lo = T.make_local h in
+  for k = 0 to 499 do
+    assert (T.insert t lo k k)
+  done;
+  Alcotest.(check int) "filled" 500 (T.size t);
+  for k = 0 to 499 do
+    assert (T.remove t lo k)
+  done;
+  Alcotest.(check int) "emptied" 0 (T.size t);
+  T.clear_local lo;
+  Hp_plus.flush h;
+  Hp_plus.flush h;
+  Alcotest.(check int) "drained" 0
+    (Smr_core.Stats.unreclaimed (Hp_plus.stats scheme));
+  Hp_plus.unregister h
+
+let () =
+  Alcotest.run "trees"
+    [
+      ("efrbtree:HP", Ef_hp.tests);
+      ("efrbtree:HP++", Ef_hpp.tests);
+      ("efrbtree:EBR", Ef_ebr.tests);
+      ("efrbtree:PEBR", Ef_pebr.tests);
+      ("efrbtree:NR", Ef_nr.tests);
+      ( "efrbtree extras",
+        [ Alcotest.test_case "rejects RC" `Quick test_efrbtree_rejects_rc ] );
+      ("nmtree:HP++", Nm_hpp.tests);
+      ("nmtree:EBR", Nm_ebr.tests);
+      ("nmtree:PEBR", Nm_pebr.tests);
+      ("nmtree:RC", Nm_rc.tests);
+      ("nmtree:NR", Nm_nr.tests);
+      ( "nmtree extras",
+        [
+          Alcotest.test_case "rejects HP" `Quick test_nmtree_rejects_hp;
+          Alcotest.test_case "key bound" `Quick test_nmtree_key_bound;
+          Alcotest.test_case "bulk delete drains" `Quick
+            test_nmtree_bulk_delete_drains;
+        ] );
+    ]
