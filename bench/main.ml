@@ -60,7 +60,15 @@ let exps_arg =
   in
   Arg.(value & pos_right (-1) string [] & info [] ~docv:"EXP" ~doc)
 
-let main threads duration paper_scale micro no_uaf exps =
+let json_arg =
+  let doc =
+    "Also serialize every measured (experiment, structure, scheme, threads) \
+     row as JSON to $(docv), for tracking benchmark trajectories across \
+     commits."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let main threads duration paper_scale micro no_uaf json exps =
   if no_uaf then Smr_core.Mem.set_checking false;
   let settings =
     {
@@ -71,7 +79,8 @@ let main threads duration paper_scale micro no_uaf exps =
   in
   (* strip a leading "exp" subcommand word if present *)
   let exps = List.filter (fun e -> e <> "exp") exps in
-  run_exps settings exps micro
+  run_exps settings exps micro;
+  Option.iter Bench_harness.Collector.write json
 
 let cmd =
   let doc = "Regenerate the tables and figures of the HP++ paper" in
@@ -79,6 +88,6 @@ let cmd =
     (Cmd.info "hp-plus-bench" ~doc)
     Term.(
       const main $ threads_arg $ duration_arg $ paper_scale_arg $ micro_arg
-      $ no_uaf_arg $ exps_arg)
+      $ no_uaf_arg $ json_arg $ exps_arg)
 
 let () = exit (Cmd.eval cmd)

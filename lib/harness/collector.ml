@@ -1,0 +1,67 @@
+(** Machine-readable benchmark output: every run that flows through
+    {!Experiments} is also recorded here as a row, and [bench/main.exe
+    --json FILE] serializes the accumulated rows so benchmark trajectories
+    can be tracked across PRs instead of diffing text tables. *)
+
+open Bench_types
+
+type row = {
+  experiment : string;
+  ds : string;
+  scheme : string;
+  threads : int;
+  key_range : int;
+  workload : string;
+  result : result;
+}
+
+let rows : row list ref = ref []
+let current = ref "-"
+
+let set_experiment name =
+  current := name
+
+let add ~ds ~scheme ~threads ~key_range ~workload result =
+  rows :=
+    { experiment = !current; ds; scheme; threads; key_range; workload; result }
+    :: !rows
+
+let reset () =
+  rows := [];
+  current := "-"
+
+let result_json (r : result) =
+  Service.Json.Obj
+    [
+      ("ops", Service.Json.Int r.ops);
+      ("wall_s", Service.Json.Float r.wall);
+      ("throughput_mops", Service.Json.Float r.throughput_mops);
+      ("peak_unreclaimed", Service.Json.Int r.peak_unreclaimed);
+      ("avg_unreclaimed", Service.Json.Float r.avg_unreclaimed);
+      ("peak_live", Service.Json.Int r.peak_live);
+      ("heavy_fences", Service.Json.Int r.heavy_fences);
+      ("protection_failures", Service.Json.Int r.protection_failures);
+    ]
+
+let row_json row =
+  Service.Json.Obj
+    [
+      ("experiment", Service.Json.String row.experiment);
+      ("ds", Service.Json.String row.ds);
+      ("scheme", Service.Json.String row.scheme);
+      ("threads", Service.Json.Int row.threads);
+      ("key_range", Service.Json.Int row.key_range);
+      ("workload", Service.Json.String row.workload);
+      ("result", result_json row.result);
+    ]
+
+let to_json () =
+  Service.Json.Obj
+    [
+      ("suite", Service.Json.String "hp-plus-bench");
+      ("rows", Service.Json.List (List.rev_map row_json !rows));
+    ]
+
+let write path =
+  Service.Json.write_file path (to_json ());
+  Printf.printf "wrote %d benchmark rows to %s\n%!" (List.length !rows) path

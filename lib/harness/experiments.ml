@@ -21,14 +21,19 @@ let big_range s cat =
 let small_range = function `List -> 16 | `Other -> 128
 
 let run_instance s (i : Instances.instance) ~threads ~key_range ~workload =
-  (i.run
-     {
-       threads;
-       duration = s.duration;
-       key_range;
-       workload;
-       prefill_ratio = 0.5;
-     } [@warning "-16"])
+  let r =
+    (i.run
+       {
+         threads;
+         duration = s.duration;
+         key_range;
+         workload;
+         prefill_ratio = 0.5;
+       } [@warning "-16"])
+  in
+  Collector.add ~ds:i.ds ~scheme:i.scheme ~threads ~key_range
+    ~workload:workload.Workload.name r;
+  r
 
 (* One data structure, thread rows, scheme columns. *)
 let ds_sweep s ~ds ~workload ~key_range ~(metric : metric) =
@@ -137,14 +142,20 @@ let fig10 s =
   let columns = [ "NR"; "EBR"; "PEBR"; "HP"; "HP++"; "RC" ] in
   let run_one scheme key_range =
     let c = cfg key_range in
-    match scheme with
-    | "NR" -> Instances.Hhs_nr.run_long_reads ~writer_range:64 c
-    | "EBR" -> Instances.Hhs_ebr.run_long_reads ~writer_range:64 c
-    | "PEBR" -> Instances.Hhs_pebr.run_long_reads ~writer_range:64 c
-    | "HP" -> Instances.Hm_hp.run_long_reads ~writer_range:64 c
-    | "HP++" -> Instances.Hhs_hpp.run_long_reads ~writer_range:64 c
-    | "RC" -> Instances.Hhs_rc.run_long_reads ~writer_range:64 c
-    | _ -> assert false
+    let r =
+      match scheme with
+      | "NR" -> Instances.Hhs_nr.run_long_reads ~writer_range:64 c
+      | "EBR" -> Instances.Hhs_ebr.run_long_reads ~writer_range:64 c
+      | "PEBR" -> Instances.Hhs_pebr.run_long_reads ~writer_range:64 c
+      | "HP" -> Instances.Hm_hp.run_long_reads ~writer_range:64 c
+      | "HP++" -> Instances.Hhs_hpp.run_long_reads ~writer_range:64 c
+      | "RC" -> Instances.Hhs_rc.run_long_reads ~writer_range:64 c
+      | _ -> assert false
+    in
+    Collector.add
+      ~ds:(if scheme = "HP" then "HMList" else "HHSList")
+      ~scheme ~threads ~key_range ~workload:"long-reads" r;
+    r
   in
   let results =
     List.map
@@ -269,15 +280,21 @@ let alg5 s =
       (fun threads ->
         ( threads,
           List.map
-            (fun (_, config) ->
-              Instances.Hhs_hpp.run ~config
-                {
-                  threads;
-                  duration = s.duration;
-                  key_range;
-                  workload = Workload.write_only;
-                  prefill_ratio = 0.5;
-                })
+            (fun (variant, config) ->
+              let r =
+                Instances.Hhs_hpp.run ~config
+                  {
+                    threads;
+                    duration = s.duration;
+                    key_range;
+                    workload = Workload.write_only;
+                    prefill_ratio = 0.5;
+                  }
+              in
+              Collector.add ~ds:"HHSList"
+                ~scheme:("HP++/" ^ variant)
+                ~threads ~key_range ~workload:"write-only" r;
+              r)
             variants ))
       s.threads_list
   in
@@ -329,7 +346,8 @@ let thresholds s =
             reclaim_threshold = rec_;
           }
         in
-        ( Printf.sprintf "inv=%d/rec=%d" inv rec_,
+        let name = Printf.sprintf "inv=%d/rec=%d" inv rec_ in
+        let r =
           Instances.Hhs_hpp.run ~config
             {
               threads;
@@ -337,7 +355,11 @@ let thresholds s =
               key_range;
               workload = Workload.write_only;
               prefill_ratio = 0.5;
-            } ))
+            }
+        in
+        Collector.add ~ds:"HHSList" ~scheme:("HP++/" ^ name) ~threads
+          ~key_range ~workload:"write-only" r;
+        (name, r))
       variants
   in
   Report.table ~title:"thresholds: throughput (Mops/s)" ~row_label:"config"
@@ -366,7 +388,9 @@ let known =
     "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig23";
     "tab1"; "tab2"; "alg5"; "thresholds" ]
 
-let run s = function
+let run s exp =
+  Collector.set_experiment exp;
+  match exp with
   | "fig8" -> fig8 s
   | "fig9" -> fig9 s
   | "fig10" -> fig10 s

@@ -48,6 +48,34 @@ module Mono
   let remove = T.remove
 end
 
+(* The sampler domain shared by every run shape: waits on the same start
+   barrier as the workers, samples the garbage backlog every 2ms for
+   [duration] seconds, then flips [stop] and returns (wall time, average
+   backlog). *)
+let backlog_sampler ~stats ~barrier ~stop ~duration () =
+  Barrier.wait barrier;
+  let t0 = Unix.gettimeofday () in
+  let samples = ref 0 and sum = ref 0.0 in
+  while Unix.gettimeofday () -. t0 < duration do
+    sum := !sum +. float_of_int (Stats.unreclaimed stats);
+    incr samples;
+    Unix.sleepf 0.002
+  done;
+  Atomic.set stop true;
+  (Unix.gettimeofday () -. t0, !sum /. float_of_int (max 1 !samples))
+
+let assemble_result ~ops ~wall ~avg_unreclaimed stats =
+  {
+    ops;
+    wall;
+    throughput_mops = float_of_int ops /. wall /. 1e6;
+    peak_unreclaimed = Stats.peak_unreclaimed stats;
+    avg_unreclaimed;
+    peak_live = Stats.peak_live stats;
+    heavy_fences = Stats.heavy_fences stats;
+    protection_failures = Stats.protection_failures stats;
+  }
+
 module Make (D : DS) = struct
   module S = D.S
 
@@ -96,33 +124,15 @@ module Make (D : DS) = struct
       S.unregister handle;
       !ops
     in
-    let sampler () =
-      Barrier.wait barrier;
-      let t0 = Unix.gettimeofday () in
-      let samples = ref 0 and sum = ref 0.0 in
-      while Unix.gettimeofday () -. t0 < cfg.duration do
-        sum := !sum +. float_of_int (Stats.unreclaimed stats);
-        incr samples;
-        Unix.sleepf 0.002
-      done;
-      Atomic.set stop true;
-      (Unix.gettimeofday () -. t0, !sum /. float_of_int (max 1 !samples))
-    in
     let workers = Array.init cfg.threads (fun i -> Domain.spawn (worker i)) in
-    let sampler_d = Domain.spawn sampler in
+    let sampler_d =
+      Domain.spawn
+        (backlog_sampler ~stats ~barrier ~stop ~duration:cfg.duration)
+    in
     let ops = Array.fold_left (fun acc d -> acc + Domain.join d) 0 workers in
     let wall, avg_unreclaimed = Domain.join sampler_d in
     S.unregister setup;
-    {
-      ops;
-      wall;
-      throughput_mops = float_of_int ops /. wall /. 1e6;
-      peak_unreclaimed = Stats.peak_unreclaimed stats;
-      avg_unreclaimed;
-      peak_live = Stats.peak_live stats;
-      heavy_fences = Stats.heavy_fences stats;
-      protection_failures = Stats.protection_failures stats;
-    }
+    assemble_result ~ops ~wall ~avg_unreclaimed stats
 
   (* The paper's Figure 10 workload: half the threads run long get()
      operations over the whole (large) key range; the other half churn the
@@ -166,33 +176,15 @@ module Make (D : DS) = struct
       S.unregister handle;
       0
     in
-    let sampler () =
-      Barrier.wait barrier;
-      let t0 = Unix.gettimeofday () in
-      let samples = ref 0 and sum = ref 0.0 in
-      while Unix.gettimeofday () -. t0 < cfg.duration do
-        sum := !sum +. float_of_int (Stats.unreclaimed stats);
-        incr samples;
-        Unix.sleepf 0.002
-      done;
-      Atomic.set stop true;
-      (Unix.gettimeofday () -. t0, !sum /. float_of_int (max 1 !samples))
-    in
     let reader_ds = Array.init readers (fun i -> Domain.spawn (reader i)) in
     let writer_ds = Array.init writers (fun i -> Domain.spawn (writer i)) in
-    let sampler_d = Domain.spawn sampler in
+    let sampler_d =
+      Domain.spawn
+        (backlog_sampler ~stats ~barrier ~stop ~duration:cfg.duration)
+    in
     let ops = Array.fold_left (fun acc d -> acc + Domain.join d) 0 reader_ds in
     Array.iter (fun d -> ignore (Domain.join d)) writer_ds;
     let wall, avg_unreclaimed = Domain.join sampler_d in
     S.unregister setup;
-    {
-      ops;
-      wall;
-      throughput_mops = float_of_int ops /. wall /. 1e6;
-      peak_unreclaimed = Stats.peak_unreclaimed stats;
-      avg_unreclaimed;
-      peak_live = Stats.peak_live stats;
-      heavy_fences = Stats.heavy_fences stats;
-      protection_failures = Stats.protection_failures stats;
-    }
+    assemble_result ~ops ~wall ~avg_unreclaimed stats
 end

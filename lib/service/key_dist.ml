@@ -1,0 +1,80 @@
+(** Key distributions for load generation: uniform, and the YCSB-flavoured
+    Zipfian sampler (Gray et al.'s rejection-free inversion with precomputed
+    zeta), optionally scrambled so that hot ranks scatter across the key
+    space — and therefore across shards — instead of clustering at 0. *)
+
+module Rng = Smr_core.Rng
+
+type zipf = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  scramble : bool;
+}
+
+type t = Uniform of int | Zipf of zipf
+
+let zeta n theta =
+  let s = ref 0.0 in
+  for i = 1 to n do
+    s := !s +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !s
+
+let uniform n =
+  if n < 1 then invalid_arg "Key_dist.uniform";
+  Uniform n
+
+let zipfian ?(scramble = true) ?(theta = 0.99) n =
+  if n < 1 then invalid_arg "Key_dist.zipfian";
+  if theta <= 0.0 || theta >= 1.0 then
+    invalid_arg "Key_dist.zipfian: theta must be in (0, 1)";
+  if n = 1 then Uniform 1
+  else
+    let zetan = zeta n theta in
+    Zipf
+      {
+        n;
+        theta;
+        alpha = 1.0 /. (1.0 -. theta);
+        zetan;
+        eta =
+          (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+          /. (1.0 -. (zeta 2 theta /. zetan));
+        scramble;
+      }
+
+let of_name ?theta name n =
+  match name with
+  | "uniform" -> uniform n
+  | "zipfian" -> zipfian ?theta n
+  | s -> invalid_arg ("Key_dist.of_name: " ^ s)
+
+let name = function Uniform _ -> "uniform" | Zipf _ -> "zipfian"
+let key_space = function Uniform n -> n | Zipf z -> z.n
+
+(* splitmix64 finalizer on the 63-bit native int *)
+let scramble_rank n rank =
+  let h = rank in
+  let h = (h lxor (h lsr 33)) * 0xFF51AFD7ED558CC in
+  let h = (h lxor (h lsr 29)) * 0xC4CEB9FE1A85EC5 in
+  let h = h lxor (h lsr 32) in
+  (h land max_int) mod n
+
+let next t rng =
+  match t with
+  | Uniform n -> Rng.below rng n
+  | Zipf z ->
+      let u = Rng.float rng in
+      let uz = u *. z.zetan in
+      let rank =
+        if uz < 1.0 then 0
+        else if uz < 1.0 +. (0.5 ** z.theta) then 1
+        else
+          int_of_float
+            (float_of_int z.n *. (((z.eta *. u) -. z.eta +. 1.0) ** z.alpha))
+      in
+      let rank = if rank >= z.n then z.n - 1 else if rank < 0 then 0 else rank in
+      if z.scramble then scramble_rank z.n rank else rank

@@ -1,0 +1,93 @@
+(** A point-in-time, scheme-agnostic snapshot of a running service: request
+    throughput, per-operation latency summaries, per-shard occupancy, and
+    the reclamation counters ({!Smr_core.Stats}) that tie service behaviour
+    back to the paper's garbage metrics. Built by [Shardkv.snapshot];
+    rendered as text ({!pp}) or JSON ({!to_json}). *)
+
+type op = Get | Put | Delete | Multi_get
+
+let op_name = function
+  | Get -> "get"
+  | Put -> "put"
+  | Delete -> "delete"
+  | Multi_get -> "multi_get"
+
+let all_ops = [ Get; Put; Delete; Multi_get ]
+let op_index = function Get -> 0 | Put -> 1 | Delete -> 2 | Multi_get -> 3
+
+type t = {
+  scheme : string;
+  shards : int;
+  sessions : int; (* worker domains that ever attached *)
+  elapsed : float; (* seconds of load the snapshot covers *)
+  total_ops : int;
+  qps : float;
+  per_op : (op * Histogram.summary) list; (* ops with zero count omitted *)
+  occupancy : int array; (* per-shard key count; only valid at quiescence *)
+  live : int;
+  unreclaimed : int;
+  peak_unreclaimed : int;
+  peak_live : int;
+  heavy_fences : int;
+  protection_failures : int;
+}
+
+let summary_json (s : Histogram.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean_ns", Json.Float s.mean);
+      ("p50_ns", Json.Int s.p50);
+      ("p90_ns", Json.Int s.p90);
+      ("p99_ns", Json.Int s.p99);
+      ("p999_ns", Json.Int s.p999);
+      ("max_ns", Json.Int s.max);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("scheme", Json.String t.scheme);
+      ("shards", Json.Int t.shards);
+      ("sessions", Json.Int t.sessions);
+      ("elapsed_s", Json.Float t.elapsed);
+      ("total_ops", Json.Int t.total_ops);
+      ("throughput_qps", Json.Float t.qps);
+      ( "latency",
+        Json.Obj
+          (List.map (fun (op, s) -> (op_name op, summary_json s)) t.per_op) );
+      ( "shard_occupancy",
+        Json.List (Array.to_list (Array.map (fun n -> Json.Int n) t.occupancy))
+      );
+      ( "garbage",
+        Json.Obj
+          [
+            ("live", Json.Int t.live);
+            ("unreclaimed", Json.Int t.unreclaimed);
+            ("peak_unreclaimed", Json.Int t.peak_unreclaimed);
+            ("peak_live", Json.Int t.peak_live);
+            ("heavy_fences", Json.Int t.heavy_fences);
+            ("protection_failures", Json.Int t.protection_failures);
+          ] );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s: %d shard(s), %d session(s), %.2fs — %d ops (%.0f qps)@," t.scheme
+    t.shards t.sessions t.elapsed t.total_ops t.qps;
+  List.iter
+    (fun (op, s) ->
+      Format.fprintf ppf "  %-9s %a@," (op_name op)
+        (Histogram.pp_summary ~unit_name:"us" ~scale:1e3)
+        s)
+    t.per_op;
+  Format.fprintf ppf "  occupancy: %d keys over %d shards (min %d, max %d)@,"
+    (Array.fold_left ( + ) 0 t.occupancy)
+    (Array.length t.occupancy)
+    (Array.fold_left min max_int t.occupancy)
+    (Array.fold_left max 0 t.occupancy);
+  Format.fprintf ppf
+    "  garbage: unreclaimed %d (peak %d), live %d (peak %d), heavy fences %d, \
+     protection failures %d@]"
+    t.unreclaimed t.peak_unreclaimed t.live t.peak_live t.heavy_fences
+    t.protection_failures

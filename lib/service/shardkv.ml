@@ -1,0 +1,201 @@
+(** shardkv: a sharded in-process KV store. The key space is
+    hash-partitioned across a power-of-two number of shards, each an
+    independently reclaimed {!Smr_ds.Hashmap} bucket array; every shard
+    shares one reclamation domain so garbage accounting stays global.
+
+    Requests go through a per-domain {e session} (cached in domain-local
+    storage) holding the SMR registration, the traversal guards, and the
+    per-operation latency histograms — worker domains register with the
+    scheme once, not per request, and record latency without touching any
+    shared state.
+
+    [put] has insert-if-absent semantics (the underlying map is a set-map):
+    it returns [false] when the key is already present. This is exactly the
+    sequential specification the linearizability checker in
+    [test/support/linearizability.ml] validates. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Map = Smr_ds.Hashmap.Make (S)
+  module St = Service_stats
+
+  type session = {
+    handle : S.handle;
+    local : Map.local;
+    lat : Histogram.t array; (* indexed by Service_stats.op_index *)
+    mutable ops : int;
+  }
+
+  type 'v t = {
+    scheme : S.t;
+    shards : 'v Map.t array;
+    mask : int;
+    dls : session option Domain.DLS.key;
+    lock : Mutex.t; (* guards [sessions]; never taken on the request path *)
+    mutable sessions : session list;
+  }
+
+  let create ?config ?(shards = 4) ?(buckets_per_shard = 128) () =
+    if shards < 1 then invalid_arg "Shardkv.create: shards";
+    let n =
+      let rec up n = if n >= shards then n else up (n * 2) in
+      up 1
+    in
+    let scheme = S.create ?config () in
+    {
+      scheme;
+      shards =
+        Array.init n (fun _ -> Map.create_sized ~buckets:buckets_per_shard scheme);
+      mask = n - 1;
+      dls = Domain.DLS.new_key (fun () -> None);
+      lock = Mutex.create ();
+      sessions = [];
+    }
+
+  let shard_count t = Array.length t.shards
+  let scheme t = t.scheme
+  let stats t = S.stats t.scheme
+
+  (* A different multiplier/shift pair than Hashmap's bucket hash, so shard
+     choice and in-shard bucket choice use decorrelated bits. *)
+  let shard_of t key = key * 0x1C69B3F74AC4AE35 lsr 33 land t.mask
+
+  let session t =
+    match Domain.DLS.get t.dls with
+    | Some s -> s
+    | None ->
+        let handle = S.register t.scheme in
+        let s =
+          {
+            handle;
+            local = Map.make_local handle;
+            lat = Array.init (List.length St.all_ops) (fun _ -> Histogram.create ());
+            ops = 0;
+          }
+        in
+        Domain.DLS.set t.dls (Some s);
+        Mutex.lock t.lock;
+        t.sessions <- s :: t.sessions;
+        Mutex.unlock t.lock;
+        s
+
+  let detach t =
+    match Domain.DLS.get t.dls with
+    | None -> ()
+    | Some s ->
+        Map.clear_local s.local;
+        S.unregister s.handle;
+        (* the session record stays in [t.sessions]: its histograms feed the
+           next snapshot even after the worker domain is gone *)
+        Domain.DLS.set t.dls None
+
+  let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+  let timed s op f =
+    let t0 = now_ns () in
+    let r = f () in
+    Histogram.record s.lat.(St.op_index op) (now_ns () - t0);
+    s.ops <- s.ops + 1;
+    r
+
+  let get t key =
+    let s = session t in
+    timed s St.Get (fun () -> Map.get t.shards.(shard_of t key) s.local key)
+
+  let put t key value =
+    let s = session t in
+    timed s St.Put (fun () ->
+        Map.insert t.shards.(shard_of t key) s.local key value)
+
+  let delete t key =
+    let s = session t in
+    timed s St.Delete (fun () ->
+        Map.remove t.shards.(shard_of t key) s.local key)
+
+  (* One request, one timing record; the lookups are grouped by shard so
+     each shard's bucket array is walked while hot. *)
+  let multi_get t keys =
+    let s = session t in
+    timed s St.Multi_get (fun () ->
+        let out = Array.make (Array.length keys) None in
+        let groups = Array.make (Array.length t.shards) [] in
+        Array.iteri
+          (fun pos key ->
+            let sh = shard_of t key in
+            groups.(sh) <- pos :: groups.(sh))
+          keys;
+        Array.iteri
+          (fun sh positions ->
+            match positions with
+            | [] -> ()
+            | _ ->
+                let m = t.shards.(sh) in
+                List.iter
+                  (fun pos -> out.(pos) <- Map.get m s.local keys.(pos))
+                  positions)
+          groups;
+        out)
+
+  (* Untimed bulk insert for prefill: routed like [put] but kept out of the
+     latency histograms and the request count. *)
+  let load t pairs =
+    let s = session t in
+    Array.iter
+      (fun (key, value) ->
+        ignore (Map.insert t.shards.(shard_of t key) s.local key value))
+      pairs
+
+  (* {1 Quiescent helpers} — only sound with no concurrent writers. *)
+
+  let shard_sizes t = Array.map Map.size t.shards
+  let size t = Array.fold_left ( + ) 0 (shard_sizes t)
+  let to_list t = Array.to_list t.shards |> List.concat_map Map.to_list
+
+  (* Sweep every shard for reachable-but-freed nodes (the UAF detector's
+     structural invariant) and check per-shard key uniqueness. Returns the
+     total key count. *)
+  let validate t =
+    Array.iter Map.assert_reachable_not_freed t.shards;
+    Array.fold_left
+      (fun acc m ->
+        let contents = Map.to_list m in
+        let keys = List.map fst contents in
+        if keys <> List.sort_uniq compare keys then
+          failwith "Shardkv.validate: duplicate keys in a shard";
+        acc + List.length keys)
+      0 t.shards
+
+  let snapshot t ~elapsed =
+    Mutex.lock t.lock;
+    let sessions = t.sessions in
+    Mutex.unlock t.lock;
+    let total_ops = List.fold_left (fun acc s -> acc + s.ops) 0 sessions in
+    let per_op =
+      List.filter_map
+        (fun op ->
+          let merged =
+            Histogram.merge
+              (List.map (fun s -> s.lat.(St.op_index op)) sessions)
+          in
+          if Histogram.count merged = 0 then None
+          else Some (op, Histogram.summary merged))
+        St.all_ops
+    in
+    let st = S.stats t.scheme in
+    let module Stats = Smr_core.Stats in
+    {
+      St.scheme = S.name;
+      shards = Array.length t.shards;
+      sessions = List.length sessions;
+      elapsed;
+      total_ops;
+      qps = (if elapsed > 0.0 then float_of_int total_ops /. elapsed else 0.0);
+      per_op;
+      occupancy = shard_sizes t;
+      live = Stats.live st;
+      unreclaimed = Stats.unreclaimed st;
+      peak_unreclaimed = Stats.peak_unreclaimed st;
+      peak_live = Stats.peak_live st;
+      heavy_fences = Stats.heavy_fences st;
+      protection_failures = Stats.protection_failures st;
+    }
+end

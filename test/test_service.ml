@@ -1,0 +1,285 @@
+(* Service-layer units: the latency histogram's bucket math, the key
+   distributions, shardkv's map semantics across shards, and shardkv
+   linearizability on a single shard via the exact checker. *)
+
+module H = Service.Histogram
+module Key_dist = Service.Key_dist
+module Json = Service.Json
+module St = Service.Service_stats
+module Lin = Test_support.Linearizability
+module Pool = Smr_core.Domain_pool
+module Rng = Smr_core.Rng
+
+(* --- histogram ---------------------------------------------------------- *)
+
+let test_hist_exact_small () =
+  (* bucket 0 stores values < 2^sub_bits at unit resolution: exact *)
+  let h = H.create () in
+  for v = 0 to 31 do
+    H.record h v
+  done;
+  Alcotest.(check int) "count" 32 (H.count h);
+  Alcotest.(check int) "max" 31 (H.max_value h);
+  Alcotest.(check int) "p50" 15 (H.percentile h 50.0);
+  Alcotest.(check int) "p100" 31 (H.percentile h 100.0);
+  Alcotest.(check (float 1e-9)) "mean" 15.5 (H.mean h)
+
+let test_hist_single_value_roundtrip () =
+  (* one recorded value comes back exactly at any magnitude: the percentile
+     is clamped by the true max *)
+  List.iter
+    (fun v ->
+      let h = H.create () in
+      H.record h v;
+      Alcotest.(check int) (Printf.sprintf "p50 of %d" v) v (H.percentile h 50.0))
+    [ 0; 1; 31; 32; 33; 1000; 65535; 1_000_000; 123_456_789; 1 lsl 39 ]
+
+let test_hist_relative_error () =
+  (* two values in one bucket: the reported percentile is an upper bound
+     within the bucket's relative error (2^-(sub_bits-1) ~ 6.25%, half that
+     on average) *)
+  let h = H.create () in
+  H.record h 1000;
+  H.record h 1001;
+  let p50 = H.percentile h 50.0 in
+  if p50 < 1000 || p50 > 1023 then
+    Alcotest.failf "p50=%d outside bucket [1000, 1023]" p50;
+  Alcotest.(check int) "count" 2 (H.count h)
+
+let test_hist_overflow () =
+  (* values past the top bucket clamp but keep their exact maximum *)
+  let huge = 1 lsl 50 in
+  let h = H.create () in
+  H.record h huge;
+  Alcotest.(check int) "count" 1 (H.count h);
+  Alcotest.(check int) "max survives clamp" huge (H.max_value h);
+  Alcotest.(check int) "p50 reports the true max" huge (H.percentile h 50.0);
+  (* mixed: overflow values dominate the tail only *)
+  for _ = 1 to 998 do
+    H.record h 100
+  done;
+  H.record h huge;
+  let p50 = H.percentile h 50.0 in
+  if p50 < 100 || p50 > 103 then
+    Alcotest.failf "p50 small: %d outside bucket [100, 103]" p50;
+  Alcotest.(check int) "p999+ huge" huge (H.percentile h 99.95)
+
+let test_hist_merge () =
+  let h1 = H.create () and h2 = H.create () and all = H.create () in
+  let rng = Rng.create ~seed:42 in
+  for i = 1 to 5000 do
+    let v = Rng.below rng 1_000_000 in
+    H.record (if i mod 2 = 0 then h1 else h2) v;
+    H.record all v
+  done;
+  let m = H.merge [ h1; h2 ] in
+  Alcotest.(check int) "count" (H.count all) (H.count m);
+  Alcotest.(check int) "max" (H.max_value all) (H.max_value m);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%.1f" p)
+        (H.percentile all p) (H.percentile m p))
+    [ 10.0; 50.0; 90.0; 99.0; 99.9; 100.0 ];
+  Alcotest.(check (float 1e-6)) "mean" (H.mean all) (H.mean m)
+
+let test_hist_merge_mismatch () =
+  let a = H.create ~sub_bits:5 () and b = H.create ~sub_bits:6 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Histogram.merge_into: shape mismatch") (fun () ->
+      H.merge_into ~src:a ~dst:b)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "p99 empty" 0 (H.percentile h 99.0);
+  Alcotest.(check (float 0.0)) "mean empty" 0.0 (H.mean h);
+  let s = H.summary h in
+  Alcotest.(check int) "summary count" 0 s.H.count
+
+(* --- key distributions -------------------------------------------------- *)
+
+let test_dist_bounds () =
+  let rng = Rng.create ~seed:9 in
+  List.iter
+    (fun d ->
+      for _ = 1 to 20_000 do
+        let k = Key_dist.next d rng in
+        if k < 0 || k >= 1000 then
+          Alcotest.failf "%s out of bounds: %d" (Key_dist.name d) k
+      done)
+    [
+      Key_dist.uniform 1000;
+      Key_dist.zipfian ~scramble:false 1000;
+      Key_dist.zipfian ~scramble:true ~theta:0.5 1000;
+    ]
+
+let test_zipf_skew () =
+  (* unscrambled: rank 0 is the hottest key, far above uniform's 0.1% *)
+  let rng = Rng.create ~seed:77 in
+  let d = Key_dist.zipfian ~scramble:false 1000 in
+  let zero = ref 0 and n = 50_000 in
+  for _ = 1 to n do
+    if Key_dist.next d rng = 0 then incr zero
+  done;
+  let freq = float_of_int !zero /. float_of_int n in
+  if freq < 0.05 then Alcotest.failf "zipf rank-0 frequency %.4f too low" freq;
+  (* scrambled: same skew, but the hot rank is scattered somewhere else *)
+  let ds = Key_dist.zipfian ~scramble:true 1000 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to n do
+    let k = Key_dist.next ds rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let hottest = Array.fold_left max 0 counts in
+  if float_of_int hottest /. float_of_int n < 0.05 then
+    Alcotest.fail "scrambled zipf lost its skew"
+
+(* --- shardkv semantics -------------------------------------------------- *)
+
+module KV = Service.Shardkv.Make (Hp_plus)
+
+let test_shardkv_basic () =
+  let kv = KV.create ~shards:4 () in
+  for k = 1 to 1000 do
+    Alcotest.(check bool) "fresh put" true (KV.put kv k (k * 2))
+  done;
+  Alcotest.(check bool) "duplicate put" false (KV.put kv 500 0);
+  for k = 1 to 1000 do
+    Alcotest.(check (option int)) "get" (Some (k * 2)) (KV.get kv k)
+  done;
+  Alcotest.(check (option int)) "absent" None (KV.get kv 5000);
+  for k = 1 to 500 do
+    Alcotest.(check bool) "delete" true (KV.delete kv k)
+  done;
+  Alcotest.(check bool) "re-delete" false (KV.delete kv 1);
+  Alcotest.(check int) "size" 500 (KV.size kv);
+  Alcotest.(check int) "validate count" 500 (KV.validate kv);
+  let occ = KV.shard_sizes kv in
+  Alcotest.(check int) "occupancy sums" 500 (Array.fold_left ( + ) 0 occ);
+  KV.detach kv
+
+let test_shardkv_multi_get () =
+  let kv = KV.create ~shards:8 () in
+  for k = 0 to 99 do
+    ignore (KV.put kv k k)
+  done;
+  let keys = [| 5; 200; 17; 99; 300; 0 |] in
+  let out = KV.multi_get kv keys in
+  Alcotest.(check (array (option int)))
+    "multi_get in input order"
+    [| Some 5; None; Some 17; Some 99; None; Some 0 |]
+    out;
+  KV.detach kv
+
+let test_shardkv_routing_coverage () =
+  (* sequential keys must spread over every shard, not alias to one *)
+  let kv = KV.create ~shards:8 () in
+  for k = 0 to 9999 do
+    ignore (KV.put kv k k)
+  done;
+  Array.iteri
+    (fun i n -> if n = 0 then Alcotest.failf "shard %d empty" i)
+    (KV.shard_sizes kv);
+  KV.detach kv
+
+let test_shardkv_snapshot_json () =
+  let kv = KV.create ~shards:2 () in
+  for k = 1 to 50 do
+    ignore (KV.put kv k k);
+    ignore (KV.get kv k)
+  done;
+  ignore (KV.delete kv 1);
+  ignore (KV.multi_get kv [| 1; 2; 3 |]);
+  let snap = KV.snapshot kv ~elapsed:1.0 in
+  Alcotest.(check int) "total ops" 102 snap.St.total_ops;
+  Alcotest.(check (float 1e-9)) "qps" 102.0 snap.St.qps;
+  Alcotest.(check int) "all four ops present" 4 (List.length snap.St.per_op);
+  let json = Json.to_string (St.to_json snap) in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and h = String.length json in
+      let rec scan i = i + n <= h && (String.sub json i n = needle || scan (i + 1)) in
+      if not (scan 0) then Alcotest.failf "snapshot JSON missing %S" needle)
+    [ "\"scheme\":\"HP++\""; "p50_ns"; "p99_ns"; "p999_ns"; "throughput_qps";
+      "shard_occupancy"; "multi_get" ];
+  KV.detach kv
+
+(* --- shardkv linearizability on a single shard -------------------------- *)
+
+module Lin_check (S : Smr.Smr_intf.S) = struct
+  module K = Service.Shardkv.Make (S)
+
+  let run () =
+    for round = 1 to 3 do
+      let kv = K.create ~shards:1 () in
+      let recorder = Lin.make_recorder () in
+      let keys = 24 in
+      let logs =
+        Pool.run ~n:3 (fun i ->
+            let tl = Lin.thread_log recorder in
+            let rng = Rng.create ~seed:(round * 1000 + i) in
+            for _ = 1 to 100 do
+              let key = Rng.below rng keys in
+              ignore
+                (match Rng.below rng 3 with
+                | 0 ->
+                    Lin.record tl ~op:Lin.Insert ~key (fun () ->
+                        K.put kv key key)
+                | 1 ->
+                    Lin.record tl ~op:Lin.Remove ~key (fun () ->
+                        K.delete kv key)
+                | _ ->
+                    Lin.record tl ~op:Lin.Get ~key (fun () ->
+                        K.get kv key <> None))
+            done;
+            K.detach kv;
+            tl)
+      in
+      Lin.merge recorder (Array.to_list logs);
+      Alcotest.(check int) "recorded" 300 (Lin.total_events recorder);
+      (match Lin.check recorder with
+      | () -> ()
+      | exception Lin.Not_linearizable k ->
+          Alcotest.failf "shardkv history not linearizable at key %d (round %d)"
+            k round);
+      ignore (K.validate kv)
+    done
+end
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  let module L1 = Lin_check (Hp_plus) in
+  let module L2 = Lin_check (Ebr) in
+  let module L3 = Lin_check (Pebr) in
+  Alcotest.run "service"
+    [
+      ( "histogram",
+        [
+          case "exact below sub-bucket range" test_hist_exact_small;
+          case "single-value round-trip" test_hist_single_value_roundtrip;
+          case "bounded relative error" test_hist_relative_error;
+          case "overflow past top bucket" test_hist_overflow;
+          case "merge equals combined recording" test_hist_merge;
+          case "merge shape mismatch rejected" test_hist_merge_mismatch;
+          case "empty histogram" test_hist_empty;
+        ] );
+      ( "key_dist",
+        [
+          case "all draws in bounds" test_dist_bounds;
+          case "zipfian skew present" test_zipf_skew;
+        ] );
+      ( "shardkv",
+        [
+          case "put/get/delete across shards" test_shardkv_basic;
+          case "multi_get preserves order" test_shardkv_multi_get;
+          case "routing covers every shard" test_shardkv_routing_coverage;
+          case "snapshot and JSON" test_shardkv_snapshot_json;
+        ] );
+      ( "linearizability",
+        [
+          case "single shard, HP++" L1.run;
+          case "single shard, EBR" L2.run;
+          case "single shard, PEBR" L3.run;
+        ] );
+    ]
