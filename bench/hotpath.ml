@@ -1,0 +1,376 @@
+(* SMR hot-path microbenchmarks: isolates the three costs every scheme pays
+   on every operation — statistics accounting, header allocation, and the
+   retire→reclaim cycle — plus the per-reclaim hazard scan, away from any
+   data-structure traversal. Each cost is measured on the current (striped)
+   implementation AND on a measured-legacy replica of the seed's hot path
+   (one shared stats cache line with a per-op peak CAS, one global uid
+   counter, list retire bags drained through a per-reclaim Hashtbl), so the
+   before/after ratio is visible in one run.
+
+   Wired as [bench/main.exe exp hotpath]; rows flow into [--json] via
+   {!Bench_harness.Collector}. The run fails loudly (nonzero exit) if any
+   scheme trips the UAF detector or records a protection failure, which is
+   what the CI hotpath-smoke job asserts. *)
+
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Slots = Smr.Slots
+module Retire_bag = Smr.Retire_bag
+module Domain_pool = Smr_core.Domain_pool
+module Collector = Bench_harness.Collector
+module Bench_types = Bench_harness.Bench_types
+
+(* --- Measured-legacy replicas of the seed hot path ----------------------- *)
+
+(* The seed's Stats: eight shared atomics bumped on every event, with a
+   CAS-loop peak update on every alloc and retire. *)
+module Legacy_stats = struct
+  type t = {
+    allocated : int Atomic.t;
+    freed : int Atomic.t;
+    retired_total : int Atomic.t;
+    unreclaimed : int Atomic.t;
+    peak_unreclaimed : int Atomic.t;
+    peak_live : int Atomic.t;
+  }
+
+  let create () =
+    {
+      allocated = Atomic.make 0;
+      freed = Atomic.make 0;
+      retired_total = Atomic.make 0;
+      unreclaimed = Atomic.make 0;
+      peak_unreclaimed = Atomic.make 0;
+      peak_live = Atomic.make 0;
+    }
+
+  let rec update_peak peak v =
+    let cur = Atomic.get peak in
+    if v > cur && not (Atomic.compare_and_set peak cur v) then
+      update_peak peak v
+
+  let on_alloc t =
+    Atomic.incr t.allocated;
+    update_peak t.peak_live (Atomic.get t.allocated - Atomic.get t.freed)
+
+  let on_retire t =
+    Atomic.incr t.retired_total;
+    let v = 1 + Atomic.fetch_and_add t.unreclaimed 1 in
+    update_peak t.peak_unreclaimed v
+
+  let on_free t =
+    Atomic.incr t.freed;
+    ignore (Atomic.fetch_and_add t.unreclaimed (-1))
+end
+
+(* The seed's Mem.make: every header allocation hits one global uid counter.
+   The header shape (uid, state, refcount) and the retire/free state-machine
+   CASes match Mem exactly so the comparison isolates the uid/stats/bag/scan
+   changes, not the detector's cost. *)
+module Legacy_alloc = struct
+  let uid_counter = Atomic.make 0
+
+  type header = { uid : int; state : int Atomic.t; refcount : int Atomic.t }
+
+  let make stats =
+    Legacy_stats.on_alloc stats;
+    {
+      uid = Atomic.fetch_and_add uid_counter 1;
+      state = Atomic.make 0;
+      refcount = Atomic.make 1;
+    }
+
+  let retire_mark h = ignore (Atomic.compare_and_set h.state 0 1)
+  let free_mark h = ignore (Atomic.compare_and_set h.state 1 2)
+end
+
+(* The seed's HP retire→reclaim: a header list bag consed per retire, a
+   Hashtbl of every hazard slot rebuilt per reclaim, a List.filter rebuild
+   of the bag, and a List.length recount of the survivors. *)
+module Legacy_hp = struct
+  type handle = {
+    stats : Legacy_stats.t;
+    registry : Slots.registry;
+    mutable retireds : Legacy_alloc.header list;
+    mutable retired_count : int;
+  }
+
+  let make ~registry ~stats = { stats; registry; retireds = []; retired_count = 0 }
+
+  let reclaim h =
+    let protected_ = Slots.protected_set h.registry in
+    let keep =
+      List.filter
+        (fun (hdr : Legacy_alloc.header) ->
+          if Hashtbl.mem protected_ hdr.uid then true
+          else begin
+            Legacy_alloc.free_mark hdr;
+            Legacy_stats.on_free h.stats;
+            false
+          end)
+        h.retireds
+    in
+    h.retireds <- keep;
+    h.retired_count <- List.length keep
+
+  let retire h hdr =
+    Legacy_alloc.retire_mark hdr;
+    Legacy_stats.on_retire h.stats;
+    h.retireds <- hdr :: h.retireds;
+    h.retired_count <- h.retired_count + 1;
+    if h.retired_count >= 128 then reclaim h
+end
+
+(* --- Timing helpers ------------------------------------------------------ *)
+
+let time_loop ~duration f =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  let ops = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    (* batch so the clock read is off the measured path *)
+    for _ = 1 to 256 do
+      f ()
+    done;
+    ops := !ops + 256
+  done;
+  (!ops, Unix.gettimeofday () -. t0)
+
+let result_of ~ops ~wall ?(stats : Stats.t option) () : Bench_types.result =
+  {
+    ops;
+    wall;
+    throughput_mops = float_of_int ops /. wall /. 1e6;
+    peak_unreclaimed =
+      (match stats with Some s -> Stats.peak_unreclaimed s | None -> 0);
+    avg_unreclaimed = 0.;
+    peak_live = (match stats with Some s -> Stats.peak_live s | None -> 0);
+    heavy_fences = (match stats with Some s -> Stats.heavy_fences s | None -> 0);
+    protection_failures =
+      (match stats with Some s -> Stats.protection_failures s | None -> 0);
+  }
+
+let report ~ds ~scheme ~threads ~key_range r =
+  Collector.add ~ds ~scheme ~threads ~key_range ~workload:"hotpath" r;
+  Printf.printf "  %-14s %-22s threads=%d n=%-6d  %8.3f Mops/s\n%!" ds scheme
+    threads key_range r.Bench_types.throughput_mops
+
+(* --- 1. retire→reclaim throughput per scheme ----------------------------- *)
+
+module Retire_loop (S : Smr.Smr_intf.S) = struct
+  (* Allocate-and-retire as fast as possible: every iteration pays the
+     alloc, stats and retire costs, and every reclaim_threshold-th pays a
+     full reclaim pass. No data structure in the way. *)
+  let run ~threads ~duration =
+    let t = S.create () in
+    let stats = S.stats t in
+    let counts =
+      Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+          let h = S.register t in
+          let n = ref 0 in
+          while not (stop ()) do
+            for _ = 1 to 64 do
+              let hdr = Mem.make stats in
+              S.crit_enter h;
+              S.retire h hdr;
+              S.crit_exit h
+            done;
+            n := !n + 64
+          done;
+          S.flush h;
+          S.unregister h;
+          !n)
+    in
+    let ops = Array.fold_left ( + ) 0 counts in
+    (ops, stats)
+end
+
+module Hp_loop = Retire_loop (Hp)
+module Hpp_loop = Retire_loop (Hp_plus)
+module Ebr_loop = Retire_loop (Ebr)
+module Pebr_loop = Retire_loop (Pebr)
+module Rc_loop = Retire_loop (Rc)
+
+let legacy_retire_loop ~threads ~duration =
+  let stats = Legacy_stats.create () in
+  let registry = Slots.create () in
+  let counts =
+    Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+        let local = Slots.register registry in
+        let h = Legacy_hp.make ~registry ~stats in
+        let n = ref 0 in
+        while not (stop ()) do
+          for _ = 1 to 64 do
+            Legacy_hp.retire h (Legacy_alloc.make stats)
+          done;
+          n := !n + 64
+        done;
+        Legacy_hp.reclaim h;
+        ignore local;
+        !n)
+  in
+  Array.fold_left ( + ) 0 counts
+
+let retire_reclaim_bench ~threads ~duration =
+  let schemes =
+    [
+      ("HP", fun () -> Hp_loop.run ~threads ~duration);
+      ("HP++", fun () -> Hpp_loop.run ~threads ~duration);
+      ("EBR", fun () -> Ebr_loop.run ~threads ~duration);
+      ("PEBR", fun () -> Pebr_loop.run ~threads ~duration);
+      ("RC", fun () -> Rc_loop.run ~threads ~duration);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      let ops, stats = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      report ~ds:"retire-reclaim" ~scheme:name ~threads ~key_range:0
+        (result_of ~ops ~wall ~stats ()))
+    schemes;
+  let t0 = Unix.gettimeofday () in
+  let ops = legacy_retire_loop ~threads ~duration in
+  let wall = Unix.gettimeofday () -. t0 in
+  report ~ds:"retire-reclaim" ~scheme:"HP/legacy-seed" ~threads ~key_range:0
+    (result_of ~ops ~wall ())
+
+(* --- 2. hazard-scan cost vs registered-handle count ---------------------- *)
+
+let scan_bench ~handles ~duration =
+  let registry = Slots.create () in
+  let stats = Stats.create () in
+  (* Each handle protects half its chunk, the realistic shape: most slots
+     of most handles are empty during a scan. *)
+  let locals =
+    List.init handles (fun _ ->
+        let l = Slots.register registry in
+        for _ = 1 to 32 do
+          let s = Slots.acquire l in
+          Slots.set s (Mem.make stats)
+        done;
+        l)
+  in
+  let retired = Array.init 256 (fun _ -> Mem.uid (Mem.make stats)) in
+  (* sorted scan: snapshot once, then binary-search every retired uid —
+     one simulated reclaim pass per iteration *)
+  let scan = Slots.scan_create () in
+  let sorted_pass () =
+    Slots.scan_snapshot registry scan;
+    Array.iter (fun uid -> ignore (Slots.scan_mem scan uid)) retired
+  in
+  let ops, wall = time_loop ~duration sorted_pass in
+  report ~ds:"hazard-scan" ~scheme:"sorted-array" ~threads:1 ~key_range:handles
+    (result_of ~ops ~wall ());
+  (* legacy scan: rebuild the Hashtbl of every slot per pass *)
+  let legacy_pass () =
+    let tbl = Slots.protected_set registry in
+    Array.iter (fun uid -> ignore (Hashtbl.mem tbl uid)) retired
+  in
+  let ops, wall = time_loop ~duration legacy_pass in
+  report ~ds:"hazard-scan" ~scheme:"hashtbl-legacy" ~threads:1
+    ~key_range:handles
+    (result_of ~ops ~wall ());
+  List.iter Slots.unregister locals
+
+(* --- 3. statistics accounting: striped vs seed --------------------------- *)
+
+let stats_bench ~threads ~duration =
+  let striped = Stats.create () in
+  let counts =
+    Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          for _ = 1 to 64 do
+            Stats.on_alloc striped;
+            Stats.on_retire striped;
+            Stats.on_free striped
+          done;
+          n := !n + 64
+        done;
+        !n)
+  in
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"stats" ~scheme:"striped" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ());
+  let legacy = Legacy_stats.create () in
+  let counts =
+    Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          for _ = 1 to 64 do
+            Legacy_stats.on_alloc legacy;
+            Legacy_stats.on_retire legacy;
+            Legacy_stats.on_free legacy
+          done;
+          n := !n + 64
+        done;
+        !n)
+  in
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"stats" ~scheme:"shared-legacy" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ())
+
+(* --- 4. header allocation: per-domain uid blocks vs global counter ------- *)
+
+let alloc_bench ~threads ~duration =
+  let stats = Stats.create () in
+  let counts =
+    Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          for _ = 1 to 64 do
+            ignore (Sys.opaque_identity (Mem.make stats))
+          done;
+          n := !n + 64
+        done;
+        !n)
+  in
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"alloc" ~scheme:"uid-blocks" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ());
+  let legacy = Legacy_stats.create () in
+  let counts =
+    Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
+        let n = ref 0 in
+        while not (stop ()) do
+          for _ = 1 to 64 do
+            ignore (Sys.opaque_identity (Legacy_alloc.make legacy))
+          done;
+          n := !n + 64
+        done;
+        !n)
+  in
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"alloc" ~scheme:"global-counter-legacy" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ())
+
+(* --- Anomaly gate (CI hotpath-smoke fails on nonzero exit) --------------- *)
+
+let check_anomalies schemes_stats =
+  List.iter
+    (fun (name, stats) ->
+      let pf = Stats.protection_failures stats in
+      if pf > 0 then
+        failwith
+          (Printf.sprintf
+             "hotpath anomaly: %s recorded %d protection failures in a \
+              contention-free bench"
+             name pf))
+    schemes_stats
+
+let run ~threads_list ~duration =
+  print_endline "hotpath: SMR hot-path microbenchmarks (current vs measured-legacy seed path)";
+  Printf.printf "  uaf-detector=%b\n%!" (Mem.checking ());
+  List.iter
+    (fun threads ->
+      retire_reclaim_bench ~threads ~duration;
+      stats_bench ~threads ~duration;
+      alloc_bench ~threads ~duration)
+    threads_list;
+  List.iter (fun handles -> scan_bench ~handles ~duration) [ 1; 4; 16; 64 ];
+  (* A final guarded retire run with stats retained for the anomaly gate. *)
+  let _, hp_stats = Hp_loop.run ~threads:2 ~duration:(duration /. 2.) in
+  let _, hpp_stats = Hpp_loop.run ~threads:2 ~duration:(duration /. 2.) in
+  check_anomalies [ ("HP", hp_stats); ("HP++", hpp_stats) ];
+  print_endline "hotpath: no UAF / protection-failure anomalies"

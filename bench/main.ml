@@ -17,7 +17,7 @@ let parse_threads s =
 
 let run_exps settings exps with_micro =
   let default_run = exps = [] in
-  let exps = if default_run then E.known else exps in
+  let exps = if default_run then E.known @ [ "hotpath" ] else exps in
   Printf.printf
     "HP++ reproduction benchmark suite\n\
      host: %d cores | threads=%s duration=%.2fs paper_scale=%b\n\
@@ -26,7 +26,15 @@ let run_exps settings exps with_micro =
     (Domain.recommended_domain_count ())
     (String.concat "," (List.map string_of_int settings.E.threads_list))
     settings.E.duration settings.E.paper_scale;
-  List.iter (E.run settings) exps;
+  List.iter
+    (fun exp ->
+      if exp = "hotpath" then begin
+        Bench_harness.Collector.set_experiment "hotpath";
+        Hotpath.run ~threads_list:settings.E.threads_list
+          ~duration:settings.E.duration
+      end
+      else E.run settings exp)
+    exps;
   if with_micro || default_run then Micro.run ()
 
 open Cmdliner
@@ -56,7 +64,8 @@ let no_uaf_arg =
 
 let exps_arg =
   let doc =
-    "Experiments to run: fig8..fig23, tab1, tab2, alg5. Default: all."
+    "Experiments to run: fig8..fig23, tab1, tab2, alg5, thresholds, hotpath. \
+     Default: all."
   in
   Arg.(value & pos_right (-1) string [] & info [] ~docv:"EXP" ~doc)
 

@@ -2,6 +2,7 @@ module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
 module Slots = Smr.Slots
 module Orphanage = Smr.Orphanage
+module Retire_bag = Smr.Retire_bag
 
 let name = "HP++"
 let robust = true
@@ -33,8 +34,8 @@ type handle = {
   mutable unlinkeds : deferred list;
   mutable unlinks_since_invalidation : int;
   mutable unlinks_since_reclaim : int;
-  mutable retireds : Mem.header list;
-  mutable retired_count : int;
+  retireds : Mem.header Retire_bag.t;
+  scan : Slots.scan;
   mutable epoched_hps : (int * Slots.slot list) list;
 }
 
@@ -58,8 +59,10 @@ let register shared =
     unlinkeds = [];
     unlinks_since_invalidation = 0;
     unlinks_since_reclaim = 0;
-    retireds = [];
-    retired_count = 0;
+    retireds =
+      Retire_bag.create ~capacity:(2 * shared.config.reclaim_threshold)
+        Mem.phantom;
+    scan = Slots.scan_create ();
     epoched_hps = [];
   }
 
@@ -126,34 +129,30 @@ let do_invalidation h =
         Stats.on_heavy_fence t.stats;
         List.iter (Slots.release h.local) slots
       end;
-      h.retireds <- List.rev_append hdrs h.retireds;
-      h.retired_count <- h.retired_count + List.length hdrs
+      List.iter (Retire_bag.push h.retireds) hdrs
 
-(* Paper Algorithm 3 lines 32-35 / Algorithm 5 lines 11-16. *)
+(* Paper Algorithm 3 lines 32-35 / Algorithm 5 lines 11-16. The hazard
+   snapshot is sorted once and each retired uid binary-searched; survivors
+   compact in place, so the pass allocates nothing at steady state. *)
 let reclaim h =
   let t = h.shared in
-  let rs = List.rev_append (Orphanage.pop_all t.orphans) h.retireds in
-  h.retireds <- [];
-  h.retired_count <- 0;
+  List.iter (Retire_bag.push h.retireds) (Orphanage.pop_all t.orphans);
   h.unlinks_since_reclaim <- 0;
+  Stats.note_peaks t.stats;
   if t.config.epoched_fence then begin
     heavy_fence t;
     release_epoched h
   end;
-  let protected_ = Slots.protected_set t.registry in
-  let keep =
-    List.filter
-      (fun hdr ->
-        if Hashtbl.mem protected_ (Mem.uid hdr) then true
-        else begin
-          Mem.free_mark hdr;
-          Stats.on_free t.stats;
-          false
-        end)
-      rs
-  in
-  h.retireds <- keep;
-  h.retired_count <- List.length keep
+  Slots.scan_snapshot t.registry h.scan;
+  Retire_bag.filter_in_place
+    (fun hdr ->
+      if Slots.scan_mem h.scan (Mem.uid hdr) then true
+      else begin
+        Mem.free_mark hdr;
+        Stats.on_free t.stats;
+        false
+      end)
+    h.retireds
 
 let maybe_collect h =
   let c = h.shared.config in
@@ -161,15 +160,15 @@ let maybe_collect h =
     do_invalidation h;
   if
     h.unlinks_since_reclaim >= c.reclaim_threshold
-    || h.retired_count >= c.reclaim_threshold
+    || Retire_bag.length h.retireds >= c.reclaim_threshold
   then reclaim h
 
 let retire h hdr =
   Mem.retire_mark hdr;
   Stats.on_retire h.shared.stats;
-  h.retireds <- hdr :: h.retireds;
-  h.retired_count <- h.retired_count + 1;
-  if h.retired_count >= h.shared.config.reclaim_threshold then reclaim h
+  Retire_bag.push h.retireds hdr;
+  if Retire_bag.length h.retireds >= h.shared.config.reclaim_threshold then
+    reclaim h
 
 let retire_with_children h hdr ~children:_ = retire h hdr
 let incr_ref _ = ()
@@ -218,11 +217,11 @@ let unregister h =
   heavy_fence h.shared;
   release_epoched h;
   reclaim h;
-  Orphanage.add h.shared.orphans h.retireds;
-  h.retireds <- [];
-  h.retired_count <- 0
+  Orphanage.add h.shared.orphans (Retire_bag.to_list h.retireds);
+  Retire_bag.clear h.retireds;
+  Slots.unregister h.local
 
 let pending_unlinked h =
   List.fold_left (fun acc d -> acc + List.length d.hdrs) 0 h.unlinkeds
 
-let pending_retired h = h.retired_count
+let pending_retired h = Retire_bag.length h.retireds

@@ -1,5 +1,6 @@
 module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
+module Retire_bag = Smr.Retire_bag
 
 let name = "EBR"
 let robust = false
@@ -28,8 +29,7 @@ and participant = { status : int Atomic.t; alive : bool Atomic.t }
 type handle = {
   shared : t;
   me : participant;
-  mutable bag : (int * (unit -> unit)) list;
-  mutable bag_size : int;
+  bag : (int * (unit -> unit)) Retire_bag.t;
   mutable defers_since_collect : int;
 }
 
@@ -54,7 +54,14 @@ let rec push_participant t p =
 let register shared =
   let me = { status = Atomic.make quiescent; alive = Atomic.make true } in
   push_participant shared me;
-  { shared; me; bag = []; bag_size = 0; defers_since_collect = 0 }
+  {
+    shared;
+    me;
+    bag =
+      Retire_bag.create ~capacity:(2 * shared.config.reclaim_threshold)
+        (0, ignore);
+    defers_since_collect = 0;
+  }
 
 let global_epoch t = Atomic.get t.global_epoch
 
@@ -71,16 +78,27 @@ let protection_valid _ = true
 
 (* Advance the global epoch iff every live pinned participant has observed
    the current one. A stalled critical section therefore pins the epoch:
-   this is exactly EBR's non-robustness. *)
+   this is exactly EBR's non-robustness. Dead participants encountered along
+   the way are pruned from the list (best-effort CAS) instead of being
+   re-filtered on every future attempt. *)
 let try_advance t =
   let epoch = Atomic.get t.global_epoch in
-  let current p =
-    (not (Atomic.get p.alive))
-    ||
-    let s = Atomic.get p.status in
-    (not (is_pinned s)) || pinned_epoch s = epoch
-  in
-  if List.for_all current (Atomic.get t.participants) then
+  let ps = Atomic.get t.participants in
+  let all_current = ref true and any_dead = ref false in
+  List.iter
+    (fun p ->
+      if not (Atomic.get p.alive) then any_dead := true
+      else
+        let s = Atomic.get p.status in
+        if is_pinned s && pinned_epoch s <> epoch then all_current := false)
+    ps;
+  if !any_dead then begin
+    let pruned = List.filter (fun p -> Atomic.get p.alive) ps in
+    (* Losing the race (a concurrent register) just postpones the pruning
+       to the next advance attempt. *)
+    ignore (Atomic.compare_and_set t.participants ps pruned)
+  end;
+  if !all_current then
     ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
 
 let rec adopt_orphans t =
@@ -92,18 +110,22 @@ let rec adopt_orphans t =
 let collect h =
   let t = h.shared in
   h.defers_since_collect <- 0;
+  Stats.note_peaks t.stats;
   try_advance t;
   let epoch = Atomic.get t.global_epoch in
-  let bag = List.rev_append (adopt_orphans t) h.bag in
-  let ripe, unripe = List.partition (fun (e, _) -> e + 2 <= epoch) bag in
-  h.bag <- unripe;
-  h.bag_size <- List.length unripe;
-  List.iter (fun (_, thunk) -> thunk ()) ripe
+  List.iter (Retire_bag.push h.bag) (adopt_orphans t);
+  Retire_bag.filter_in_place
+    (fun (e, thunk) ->
+      if e + 2 <= epoch then begin
+        thunk ();
+        false
+      end
+      else true)
+    h.bag
 
 let defer h thunk =
   let epoch = Atomic.get h.shared.global_epoch in
-  h.bag <- (epoch, thunk) :: h.bag;
-  h.bag_size <- h.bag_size + 1;
+  Retire_bag.push h.bag (epoch, thunk);
   h.defers_since_collect <- h.defers_since_collect + 1;
   if h.defers_since_collect >= h.shared.config.reclaim_threshold then collect h
 
@@ -143,7 +165,6 @@ let rec add_orphans t entries =
 let unregister h =
   crit_exit h;
   collect h;
-  add_orphans h.shared h.bag;
-  h.bag <- [];
-  h.bag_size <- 0;
+  add_orphans h.shared (Retire_bag.to_list h.bag);
+  Retire_bag.clear h.bag;
   Atomic.set h.me.alive false

@@ -2,6 +2,7 @@ module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
 module Slots = Smr.Slots
 module Orphanage = Smr.Orphanage
+module Retire_bag = Smr.Retire_bag
 
 let name = "HP"
 let robust = true
@@ -19,8 +20,8 @@ type t = {
 type handle = {
   shared : t;
   local : Slots.local;
-  mutable retireds : Mem.header list;
-  mutable retired_count : int;
+  retireds : Mem.header Retire_bag.t;
+  scan : Slots.scan;
 }
 
 type guard = { slot : Slots.slot }
@@ -36,7 +37,13 @@ let create ?(config = Smr.Smr_intf.default_config) () =
 let stats t = t.stats
 
 let register shared =
-  { shared; local = Slots.register shared.registry; retireds = []; retired_count = 0 }
+  {
+    shared;
+    local = Slots.register shared.registry;
+    retireds = Retire_bag.create ~capacity:(2 * shared.config.reclaim_threshold)
+        Mem.phantom;
+    scan = Slots.scan_create ();
+  }
 
 let crit_enter _ = ()
 let crit_exit _ = ()
@@ -48,34 +55,32 @@ let protect g hdr = Slots.set g.slot hdr
 let release g = Slots.clear g.slot
 
 (* Paper Algorithm 2 Reclaim. The asymmetric-fence optimization makes the
-   reclaimer pay the (counted) heavy fence so that TryProtect pays none. *)
+   reclaimer pay the (counted) heavy fence so that TryProtect pays none.
+   The hazard snapshot is sorted once and each retired uid binary-searched
+   (Michael's amortized scan); survivors compact in place, so the pass
+   allocates nothing at steady state. *)
 let reclaim h =
   let t = h.shared in
-  let rs = List.rev_append (Orphanage.pop_all t.orphans) h.retireds in
-  h.retireds <- [];
-  h.retired_count <- 0;
+  List.iter (Retire_bag.push h.retireds) (Orphanage.pop_all t.orphans);
+  Stats.note_peaks t.stats;
   Stats.on_heavy_fence t.stats;
-  let protected_ = Slots.protected_set t.registry in
-  let keep =
-    List.filter
-      (fun hdr ->
-        if Hashtbl.mem protected_ (Mem.uid hdr) then true
-        else begin
-          Mem.free_mark hdr;
-          Stats.on_free t.stats;
-          false
-        end)
-      rs
-  in
-  h.retireds <- keep;
-  h.retired_count <- List.length keep
+  Slots.scan_snapshot t.registry h.scan;
+  Retire_bag.filter_in_place
+    (fun hdr ->
+      if Slots.scan_mem h.scan (Mem.uid hdr) then true
+      else begin
+        Mem.free_mark hdr;
+        Stats.on_free t.stats;
+        false
+      end)
+    h.retireds
 
 let retire h hdr =
   Mem.retire_mark hdr;
   Stats.on_retire h.shared.stats;
-  h.retireds <- hdr :: h.retireds;
-  h.retired_count <- h.retired_count + 1;
-  if h.retired_count >= h.shared.config.reclaim_threshold then reclaim h
+  Retire_bag.push h.retireds hdr;
+  if Retire_bag.length h.retireds >= h.shared.config.reclaim_threshold then
+    reclaim h
 
 let retire_with_children h hdr ~children:_ = retire h hdr
 let incr_ref _ = ()
@@ -92,6 +97,6 @@ let flush h = reclaim h
 
 let unregister h =
   reclaim h;
-  Orphanage.add h.shared.orphans h.retireds;
-  h.retireds <- [];
-  h.retired_count <- 0
+  Orphanage.add h.shared.orphans (Retire_bag.to_list h.retireds);
+  Retire_bag.clear h.retireds;
+  Slots.unregister h.local

@@ -1,6 +1,7 @@
 module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
 module Slots = Smr.Slots
+module Retire_bag = Smr.Retire_bag
 
 let name = "PEBR"
 let robust = true
@@ -32,7 +33,8 @@ type handle = {
   shared : t;
   me : participant;
   local : Slots.local;
-  mutable bag : (int * Mem.header) list;
+  bag : (int * Mem.header) Retire_bag.t;
+  scan : Slots.scan;
   mutable retires_since_collect : int;
 }
 
@@ -69,7 +71,10 @@ let register shared =
     shared;
     me;
     local = Slots.register shared.registry;
-    bag = [];
+    bag =
+      Retire_bag.create ~capacity:(2 * shared.config.reclaim_threshold)
+        (0, Mem.phantom);
+    scan = Slots.scan_create ();
     retires_since_collect = 0;
   }
 
@@ -96,19 +101,24 @@ let protection_valid h = not (neutralized h)
    most [e + 1], which is the grace period the freeing rule relies on. *)
 let try_advance ?(force = false) t =
   let epoch = Atomic.get t.global_epoch in
-  let clears p =
-    (not (Atomic.get p.alive))
-    ||
-    let s = Atomic.get p.status in
-    if not (is_pinned s) then true
-    else if pinned_epoch s = epoch then true
-    else if force then begin
-      Atomic.set p.neutralized true;
-      true
-    end
-    else false
-  in
-  if List.for_all clears (Atomic.get t.participants) then
+  let ps = Atomic.get t.participants in
+  let all_clear = ref true and any_dead = ref false in
+  List.iter
+    (fun p ->
+      if not (Atomic.get p.alive) then any_dead := true
+      else
+        let s = Atomic.get p.status in
+        if is_pinned s && pinned_epoch s <> epoch then
+          if force then Atomic.set p.neutralized true
+          else all_clear := false)
+    ps;
+  (* Prune dead participants (best-effort CAS) so they are not rescanned on
+     every future advance attempt. *)
+  if !any_dead then begin
+    let pruned = List.filter (fun p -> Atomic.get p.alive) ps in
+    ignore (Atomic.compare_and_set t.participants ps pruned)
+  end;
+  if !all_clear then
     ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
 
 let rec adopt_orphans t =
@@ -124,34 +134,32 @@ let rec adopt_orphans t =
 let collect h =
   let t = h.shared in
   h.retires_since_collect <- 0;
+  Stats.note_peaks t.stats;
   try_advance t;
   (* Memory pressure: the local bag outgrew [neutralize_lag] reclamation
      thresholds, so force the epoch forward, ejecting stragglers. *)
   if
-    List.length h.bag
+    Retire_bag.length h.bag
     >= t.config.neutralize_lag * t.config.reclaim_threshold
   then try_advance ~force:true t;
   let epoch = Atomic.get t.global_epoch in
   Stats.on_heavy_fence t.stats;
-  let protected_ = Slots.protected_set t.registry in
-  let bag = List.rev_append (adopt_orphans t) h.bag in
-  let keep =
-    List.filter
-      (fun (e, hdr) ->
-        if e + 2 <= epoch && not (Hashtbl.mem protected_ (Mem.uid hdr)) then begin
-          Mem.free_mark hdr;
-          Stats.on_free t.stats;
-          false
-        end
-        else true)
-      bag
-  in
-  h.bag <- keep
+  Slots.scan_snapshot t.registry h.scan;
+  List.iter (Retire_bag.push h.bag) (adopt_orphans t);
+  Retire_bag.filter_in_place
+    (fun (e, hdr) ->
+      if e + 2 <= epoch && not (Slots.scan_mem h.scan (Mem.uid hdr)) then begin
+        Mem.free_mark hdr;
+        Stats.on_free t.stats;
+        false
+      end
+      else true)
+    h.bag
 
 let retire h hdr =
   Mem.retire_mark hdr;
   Stats.on_retire h.shared.stats;
-  h.bag <- (Atomic.get h.shared.global_epoch, hdr) :: h.bag;
+  Retire_bag.push h.bag (Atomic.get h.shared.global_epoch, hdr);
   h.retires_since_collect <- h.retires_since_collect + 1;
   if h.retires_since_collect >= h.shared.config.reclaim_threshold then collect h
 
@@ -181,6 +189,7 @@ let rec add_orphans t entries =
 let unregister h =
   crit_exit h;
   collect h;
-  add_orphans h.shared h.bag;
-  h.bag <- [];
+  add_orphans h.shared (Retire_bag.to_list h.bag);
+  Retire_bag.clear h.bag;
+  Slots.unregister h.local;
   Atomic.set h.me.alive false

@@ -1,0 +1,55 @@
+(* Growable array batches for per-handle retire sets: retire is an O(1)
+   store into a reusable buffer and a reclaim pass filters in place, so the
+   hot path allocates nothing beyond occasional doubling (the seed used
+   [Mem.header list] bags, paying a cons per retire and rebuilding the whole
+   list — plus a [List.length] — per reclaim). Single-owner: a bag belongs
+   to one handle and is never shared. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 64) dummy =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t x =
+  let n = Array.length t.data in
+  if t.len = n then begin
+    let bigger = Array.make (2 * n) t.dummy in
+    Array.blit t.data 0 bigger 0 n;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Retire_bag.get";
+  t.data.(i)
+
+let clear t =
+  (* Drop element references so the GC can collect freed blocks. *)
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+(* Keep elements satisfying [f], compacting in place; preserves order. *)
+let filter_in_place f t =
+  let kept = ref 0 in
+  for i = 0 to t.len - 1 do
+    let x = t.data.(i) in
+    if f x then begin
+      t.data.(!kept) <- x;
+      incr kept
+    end
+  done;
+  Array.fill t.data !kept (t.len - !kept) t.dummy;
+  t.len <- !kept
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in
+  build (t.len - 1) []

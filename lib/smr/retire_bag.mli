@@ -1,0 +1,29 @@
+(** Growable array batches for per-handle retire sets.
+
+    [push] is an amortized O(1) store; {!filter_in_place} lets a reclaim
+    pass compact survivors without allocating a fresh list. Bags are
+    single-owner (one per scheme handle) and not thread-safe. The [dummy]
+    element fills unused capacity so dropped entries do not pin freed
+    blocks against the GC. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy] makes an empty bag using [dummy] as array filler. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+
+val clear : 'a t -> unit
+(** Empty the bag, releasing element references. Capacity is retained. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only elements satisfying the predicate, preserving order. *)
+
+val to_list : 'a t -> 'a list
+(** Cold-path conversion (handle unregistration hands leftovers to the
+    orphanage as a list). *)

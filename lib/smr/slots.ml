@@ -4,29 +4,62 @@ type slot = Mem.header option Atomic.t
 
 let chunk_size = 64
 
-type chunk = slot array
+(* [active] gates scanning: a chunk whose owner unregistered is kept in the
+   registry (scanners may still hold the list) but marked inactive, so dead
+   slots stop being walked; it is parked in [spare] for the next register. *)
+type chunk = { slots : slot array; active : bool Atomic.t }
 
-type registry = { chunks : chunk list Atomic.t }
+type registry = {
+  chunks : chunk list Atomic.t;
+  spare : chunk list Atomic.t;
+}
 
 type local = {
   registry : registry;
+  mutable my_chunks : chunk list;
   mutable free : slot list;
   mutable owned : int; (* slots handed out, for diagnostics *)
 }
 
-let create () = { chunks = Atomic.make [] }
+let create () = { chunks = Atomic.make []; spare = Atomic.make [] }
 
 let rec push_chunk registry chunk =
   let cur = Atomic.get registry.chunks in
   if not (Atomic.compare_and_set registry.chunks cur (chunk :: cur)) then
     push_chunk registry chunk
 
-let new_chunk () = Array.init chunk_size (fun _ -> Atomic.make None)
+let new_chunk () =
+  {
+    slots = Array.init chunk_size (fun _ -> Atomic.make None);
+    active = Atomic.make true;
+  }
+
+(* Reuse a parked chunk if any, else mint one and publish it. Reactivation
+   (SC store) happens before any slot of the chunk can be set, so a scanner
+   that read [active = false] can only have missed protections published
+   after its snapshot — the standard protect-after-scan race, which
+   protect/validate already handles. *)
+let rec take_chunk registry =
+  match Atomic.get registry.spare with
+  | [] ->
+      let chunk = new_chunk () in
+      push_chunk registry chunk;
+      chunk
+  | (chunk :: rest) as cur ->
+      if Atomic.compare_and_set registry.spare cur rest then begin
+        Atomic.set chunk.active true;
+        chunk
+      end
+      else take_chunk registry
 
 let register registry =
-  let chunk = new_chunk () in
-  push_chunk registry chunk;
-  { registry; free = Array.to_list chunk; owned = 0 }
+  let chunk = take_chunk registry in
+  {
+    registry;
+    my_chunks = [ chunk ];
+    free = Array.to_list chunk.slots;
+    owned = 0;
+  }
 
 let acquire local =
   match local.free with
@@ -35,11 +68,11 @@ let acquire local =
       local.owned <- local.owned + 1;
       s
   | [] ->
-      let chunk = new_chunk () in
-      push_chunk local.registry chunk;
-      local.free <- List.tl (Array.to_list chunk);
+      let chunk = take_chunk local.registry in
+      local.my_chunks <- chunk :: local.my_chunks;
+      local.free <- List.tl (Array.to_list chunk.slots);
       local.owned <- local.owned + 1;
-      chunk.(0)
+      chunk.slots.(0)
 
 let set slot hdr = Atomic.set slot (Some hdr)
 let clear slot = Atomic.set slot None
@@ -50,17 +83,133 @@ let release local slot =
   local.owned <- local.owned - 1;
   local.free <- slot :: local.free
 
+let rec park_chunk registry chunk =
+  let cur = Atomic.get registry.spare in
+  if not (Atomic.compare_and_set registry.spare cur (chunk :: cur)) then
+    park_chunk registry chunk
+
+let unregister local =
+  List.iter
+    (fun chunk ->
+      Array.iter (fun s -> Atomic.set s None) chunk.slots;
+      Atomic.set chunk.active false;
+      park_chunk local.registry chunk)
+    local.my_chunks;
+  local.my_chunks <- [];
+  local.free <- [];
+  local.owned <- 0
+
+(* --- The hazard scan ----------------------------------------------------- *)
+
+(* A reusable scratch buffer (one per reclaiming handle): snapshot every
+   protected uid into an int array, sort once, binary-search each retired
+   uid — Michael's original amortized-scan optimization, with zero
+   allocation per reclaim once the buffer has grown to its working size. *)
+type scan = { mutable uids : int array; mutable len : int }
+
+let scan_create () = { uids = Array.make 64 0; len = 0 }
+
+let scan_push scan uid =
+  let n = Array.length scan.uids in
+  if scan.len = n then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit scan.uids 0 bigger 0 n;
+    scan.uids <- bigger
+  end;
+  scan.uids.(scan.len) <- uid;
+  scan.len <- scan.len + 1
+
+(* In-place quicksort (median-of-three, insertion sort below 16) over the
+   live prefix: Array.sort would drag the stale tail of the scratch buffer
+   into the sort. *)
+let sort_prefix (a : int array) len =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  in
+  let rec qsort lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do
+          incr i
+        done;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  if len > 1 then qsort 0 (len - 1)
+
+let scan_snapshot registry scan =
+  scan.len <- 0;
+  List.iter
+    (fun chunk ->
+      if Atomic.get chunk.active then
+        Array.iter
+          (fun slot ->
+            match Atomic.get slot with
+            | Some hdr -> scan_push scan (Mem.uid hdr)
+            | None -> ())
+          chunk.slots)
+    (Atomic.get registry.chunks);
+  sort_prefix scan.uids scan.len
+
+let scan_mem scan uid =
+  let a = scan.uids in
+  let lo = ref 0 and hi = ref (scan.len - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    let v = a.(mid) in
+    if v = uid then found := true
+    else if v < uid then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let scan_size scan = scan.len
+
+(* Legacy Hashtbl-based scan, retained only so bench/hotpath.ml can measure
+   the path this module replaced. Schemes no longer call it. *)
 let protected_set registry =
   let table = Hashtbl.create 64 in
-  let scan_chunk chunk =
-    Array.iter
-      (fun slot ->
-        match Atomic.get slot with
-        | Some hdr -> Hashtbl.replace table (Mem.uid hdr) ()
-        | None -> ())
-      chunk
-  in
-  List.iter scan_chunk (Atomic.get registry.chunks);
+  List.iter
+    (fun chunk ->
+      if Atomic.get chunk.active then
+        Array.iter
+          (fun slot ->
+            match Atomic.get slot with
+            | Some hdr -> Hashtbl.replace table (Mem.uid hdr) ()
+            | None -> ())
+          chunk.slots)
+    (Atomic.get registry.chunks);
   table
 
 let total_slots registry = chunk_size * List.length (Atomic.get registry.chunks)

@@ -1,10 +1,17 @@
 (** Hazard-pointer slot machinery shared by HP, HP++ and PEBR.
 
     A {e slot} is a single-writer multi-reader cell announcing protection of
-    one block. Slots live in per-handle chunks that are registered in a
-    global chunk list, so reclaimers can always scan every slot ever
-    published; chunks are never removed, which keeps scans safe without
-    locks (the paper's [hazards: ConcurrentList<HazptrRecord>]). *)
+    one block. Slots live in per-handle chunks registered in a global chunk
+    list, so reclaimers can always scan every published slot (the paper's
+    [hazards: ConcurrentList<HazptrRecord>]). A chunk whose handle
+    unregisters is cleared, marked inactive (scans skip it) and parked for
+    reuse by the next handle, so the registry stays bounded under handle
+    churn.
+
+    Reclaimers snapshot the protected uids into a reusable sorted {!scan}
+    buffer and membership-test retired uids by binary search — amortized
+    O(1) per retired block and allocation-free once the buffer has grown to
+    its steady-state size. *)
 
 type registry
 type local
@@ -13,7 +20,12 @@ type slot
 val create : unit -> registry
 
 val register : registry -> local
-(** Create this thread's slot block. Single-threaded use per [local]. *)
+(** Create (or reuse) this thread's slot block. Single-threaded use per
+    [local]. *)
+
+val unregister : local -> unit
+(** Clear every slot owned by this handle, deactivate its chunks and park
+    them for reuse. The caller must have released all protections first. *)
 
 val acquire : local -> slot
 (** Get an empty slot (paper's MakeHazptr). *)
@@ -26,8 +38,27 @@ val get : slot -> Smr_core.Mem.header option
 val release : local -> slot -> unit
 (** Clear the slot and return it to the owner's free list. *)
 
+(** {1 The hazard scan} *)
+
+type scan
+(** A reusable scratch buffer for hazard snapshots; one per reclaiming
+    handle. *)
+
+val scan_create : unit -> scan
+
+val scan_snapshot : registry -> scan -> unit
+(** Snapshot the uids of all currently protected blocks into [scan] and
+    sort them. Linear in the number of active slots; allocates only when
+    the buffer must grow. *)
+
+val scan_mem : scan -> int -> bool
+(** Binary search of the last snapshot. *)
+
+val scan_size : scan -> int
+(** Number of protected uids captured by the last snapshot. *)
+
 val protected_set : registry -> (int, unit) Hashtbl.t
-(** Snapshot of the uids of all currently protected blocks (the hazard
-    scan). Linear in the total number of slots. *)
+(** Legacy Hashtbl-based scan, kept only as the measured baseline for
+    [bench/main.exe exp hotpath]; reclamation schemes use {!scan_snapshot}. *)
 
 val total_slots : registry -> int

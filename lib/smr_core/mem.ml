@@ -8,16 +8,42 @@ let state_freed = 2
 
 type header = { uid : int; state : int Atomic.t; refcount : int Atomic.t }
 
-let uid_counter = Atomic.make 0
 let enabled = Atomic.make true
+
+(* Uids are drawn from per-domain blocks so header allocation does not
+   contend on one global counter: a domain grabs [uid_block] ids at a time
+   and hands them out locally. Uids stay globally unique (the only property
+   scans rely on) but are no longer globally ordered. *)
+let uid_block = 1024
+let uid_counter = Atomic.make 0
+
+type uid_cursor = { mutable next : int; mutable limit : int }
+
+let uid_key = Domain.DLS.new_key (fun () -> { next = 0; limit = 0 })
+
+let fresh_uid () =
+  let c = Domain.DLS.get uid_key in
+  if c.next >= c.limit then begin
+    let base = Atomic.fetch_and_add uid_counter uid_block in
+    c.next <- base;
+    c.limit <- base + uid_block
+  end;
+  let uid = c.next in
+  c.next <- uid + 1;
+  uid
 
 let make stats =
   Stats.on_alloc stats;
   {
-    uid = Atomic.fetch_and_add uid_counter 1;
+    uid = fresh_uid ();
     state = Atomic.make state_live;
     refcount = Atomic.make 1;
   }
+
+(* A shared placeholder header: array filler for retire batches. Never
+   retired, freed or dereferenced; uid -1 collides with no real block. *)
+let phantom =
+  { uid = -1; state = Atomic.make state_live; refcount = Atomic.make 1 }
 
 let refcount h = h.refcount
 

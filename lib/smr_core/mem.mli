@@ -20,7 +20,13 @@ exception Invalid_free of int
 type header
 
 val make : Stats.t -> header
-(** Allocate a fresh block header, counted in [stats]. *)
+(** Allocate a fresh block header, counted in [stats]. Uids are drawn from
+    per-domain blocks of 1024 off one global counter, so allocation does
+    not contend; uids are unique but not globally ordered. *)
+
+val phantom : header
+(** A shared placeholder header (uid [-1]) used as array filler by retire
+    batches. Never retire, free or access it. *)
 
 val uid : header -> int
 (** Unique id, for hash-set membership during hazard scans. *)

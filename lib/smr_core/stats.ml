@@ -1,67 +1,145 @@
-type t = {
-  allocated : int Atomic.t;
-  freed : int Atomic.t;
-  retired_total : int Atomic.t;
-  unreclaimed : int Atomic.t;
-  peak_unreclaimed : int Atomic.t;
-  peak_live : int Atomic.t;
+(* Striped counters: the seed kept all eight counters in one shared record,
+   so every alloc/retire/free from every domain bumped the same cache line
+   and ran a peak-CAS loop. Events now land on a per-domain stripe (indexed
+   through a domain-local stripe id) and readings sum the stripes; peaks are
+   folded in at read time and at the schemes' reclaim entry points
+   ([note_peaks]) instead of on every operation. *)
+
+type stripe = {
+  alloc : int Atomic.t;
+  reclaimed : int Atomic.t; (* frees of retired blocks *)
+  discarded : int Atomic.t; (* frees that never passed through retirement *)
+  retired : int Atomic.t;
   heavy_fences : int Atomic.t;
   protection_failures : int Atomic.t;
 }
 
+(* Power of two so stripe selection is a mask. 64 stripes exceed any domain
+   count OCaml will actually run; collisions past that stay correct because
+   the stripe fields are atomic. *)
+let num_stripes = 64
+
+(* Each domain draws a distinct stripe id once, so concurrent domains never
+   share a stripe (until > num_stripes domains exist). Domain ids themselves
+   are reused by the runtime, which is fine: the id is only a hash. *)
+let next_stripe_id = Atomic.make 0
+
+let stripe_key =
+  Domain.DLS.new_key (fun () ->
+      Atomic.fetch_and_add next_stripe_id 1 land (num_stripes - 1))
+
+let my_stripe () = Domain.DLS.get stripe_key
+
+type t = {
+  stripes : stripe array;
+  peak_unreclaimed : int Atomic.t;
+  peak_live : int Atomic.t;
+}
+
+let make_stripe () =
+  (* OCaml 5.1 has no Atomic.make_contended: separate the six atomic cells
+     of consecutive stripes with dead padding blocks so adjacent stripes do
+     not land on one cache line when the minor heap lays them out in
+     allocation order. *)
+  let s =
+    {
+      alloc = Atomic.make 0;
+      reclaimed = Atomic.make 0;
+      discarded = Atomic.make 0;
+      retired = Atomic.make 0;
+      heavy_fences = Atomic.make 0;
+      protection_failures = Atomic.make 0;
+    }
+  in
+  ignore (Sys.opaque_identity (Array.make 16 0));
+  s
+
 let create () =
   {
-    allocated = Atomic.make 0;
-    freed = Atomic.make 0;
-    retired_total = Atomic.make 0;
-    unreclaimed = Atomic.make 0;
+    stripes = Array.init num_stripes (fun _ -> make_stripe ());
     peak_unreclaimed = Atomic.make 0;
     peak_live = Atomic.make 0;
-    heavy_fences = Atomic.make 0;
-    protection_failures = Atomic.make 0;
   }
 
 let reset t =
-  Atomic.set t.allocated 0;
-  Atomic.set t.freed 0;
-  Atomic.set t.retired_total 0;
-  Atomic.set t.unreclaimed 0;
+  Array.iter
+    (fun s ->
+      Atomic.set s.alloc 0;
+      Atomic.set s.reclaimed 0;
+      Atomic.set s.discarded 0;
+      Atomic.set s.retired 0;
+      Atomic.set s.heavy_fences 0;
+      Atomic.set s.protection_failures 0)
+    t.stripes;
   Atomic.set t.peak_unreclaimed 0;
-  Atomic.set t.peak_live 0;
-  Atomic.set t.heavy_fences 0;
-  Atomic.set t.protection_failures 0
+  Atomic.set t.peak_live 0
+
+let sum t field =
+  let acc = ref 0 in
+  Array.iter (fun s -> acc := !acc + Atomic.get (field s)) t.stripes;
+  !acc
 
 (* Monotone max update; contention is rare (only on new peaks). *)
 let rec update_peak peak v =
   let cur = Atomic.get peak in
   if v > cur && not (Atomic.compare_and_set peak cur v) then update_peak peak v
 
-let allocated t = Atomic.get t.allocated
-let freed t = Atomic.get t.freed
-let live t = allocated t - freed t
-let unreclaimed t = Atomic.get t.unreclaimed
-let peak_unreclaimed t = Atomic.get t.peak_unreclaimed
-let peak_live t = Atomic.get t.peak_live
-let retired_total t = Atomic.get t.retired_total
-let heavy_fences t = Atomic.get t.heavy_fences
-let protection_failures t = Atomic.get t.protection_failures
+let allocated t = sum t (fun s -> s.alloc)
+let retired_total t = sum t (fun s -> s.retired)
+let freed t = sum t (fun s -> s.reclaimed) + sum t (fun s -> s.discarded)
+let heavy_fences t = sum t (fun s -> s.heavy_fences)
+let protection_failures t = sum t (fun s -> s.protection_failures)
+
+(* Readings fold the instantaneous value into the peak, so a peak is a
+   monotone upper bound of every value this module has ever reported.
+
+   The [let] sequencing below is load-bearing: the increasing side of each
+   difference must be swept strictly BEFORE the decreasing side (beware
+   OCaml's right-to-left operand evaluation — [a - sum ...] sweeps the
+   subtrahend first). Counters only grow and every decrement-side event
+   (free) is causally after its increment-side event (retire/alloc), so
+   sweeping the increasing side first bounds the reading by the true
+   instantaneous value at the point between the sweeps; the reverse order
+   lets a reader preempted between sweeps overshoot by the whole backlog
+   turned over during its time slice. *)
+let unreclaimed t =
+  let r = retired_total t in
+  let v = r - sum t (fun s -> s.reclaimed) in
+  update_peak t.peak_unreclaimed v;
+  v
+
+let live t =
+  let a = allocated t in
+  let v = a - freed t in
+  update_peak t.peak_live v;
+  v
+
+let note_peaks t =
+  ignore (unreclaimed t);
+  ignore (live t)
+
+let peak_unreclaimed t =
+  ignore (unreclaimed t);
+  Atomic.get t.peak_unreclaimed
+
+let peak_live t =
+  ignore (live t);
+  Atomic.get t.peak_live
 
 let on_alloc t =
-  Atomic.incr t.allocated;
-  update_peak t.peak_live (live t)
+  Atomic.incr t.stripes.(my_stripe ()).alloc
 
 let on_retire t =
-  Atomic.incr t.retired_total;
-  let v = 1 + Atomic.fetch_and_add t.unreclaimed 1 in
-  update_peak t.peak_unreclaimed v
+  Atomic.incr t.stripes.(my_stripe ()).retired
 
 let on_free t =
-  Atomic.incr t.freed;
-  ignore (Atomic.fetch_and_add t.unreclaimed (-1))
+  Atomic.incr t.stripes.(my_stripe ()).reclaimed
 
-let on_discard t = Atomic.incr t.freed
-let on_heavy_fence t = Atomic.incr t.heavy_fences
-let on_protection_failure t = Atomic.incr t.protection_failures
+let on_discard t = Atomic.incr t.stripes.(my_stripe ()).discarded
+let on_heavy_fence t = Atomic.incr t.stripes.(my_stripe ()).heavy_fences
+
+let on_protection_failure t =
+  Atomic.incr t.stripes.(my_stripe ()).protection_failures
 
 let pp ppf t =
   Format.fprintf ppf

@@ -4,7 +4,15 @@
     figures: peak and instantaneous counts of blocks that are retired but not
     yet reclaimed (Figures 11, 15–17, 21–23), live blocks (Figures 18–20),
     and heavy-fence counts (Algorithm 5 ablation). All counters are atomic
-    and safe to update from any domain. *)
+    and safe to update from any domain.
+
+    Counters are {e striped}: each domain updates its own cache-line-padded
+    stripe and readings sum the stripes, so the event hooks are uncontended
+    stores on the hot path. Peaks are not tracked per event; they are folded
+    in whenever a reading is taken and at {!note_peaks}, which reclamation
+    schemes call on entry to a reclaim pass — the moment the garbage backlog
+    is at its local maximum. Peaks are therefore monotone upper bounds of
+    every value this module reports, and exact at reclaim boundaries. *)
 
 type t
 
@@ -30,6 +38,11 @@ val on_discard : t -> unit
 val on_heavy_fence : t -> unit
 val on_protection_failure : t -> unit
 (** A [try_protect]-style validation failed and the caller must recover. *)
+
+val note_peaks : t -> unit
+(** Fold the current unreclaimed/live counts into the peaks. Schemes call
+    this on entry to a reclamation pass (the backlog's local maximum);
+    samplers get the same folding for free through {!unreclaimed}/{!live}. *)
 
 (** {1 Readings} *)
 

@@ -461,6 +461,90 @@ let test_rc_shared_child_cascade () =
 
 (* --- NR specifics ------------------------------------------------------- *)
 
+(* --- Slot registry: chunk retirement/reuse and the sorted hazard scan --- *)
+
+module Slots = Smr.Slots
+
+(* Regression for the registry leak: unregister must park chunks for reuse
+   so handle churn (shardkv sessions coming and going) keeps the registry —
+   and therefore every future hazard scan — bounded. *)
+let test_slots_registry_bounded () =
+  let reg = Slots.create () in
+  let stats = Stats.create () in
+  let baseline = ref 0 in
+  for i = 1 to 100 do
+    let l = Slots.register reg in
+    let s = Slots.acquire l in
+    Slots.set s (Mem.make stats);
+    Slots.release l s;
+    Slots.unregister l;
+    if i = 1 then baseline := Slots.total_slots reg
+  done;
+  Alcotest.(check int) "registry reuses parked chunks" !baseline
+    (Slots.total_slots reg);
+  (* Concurrent churn from several domains stays bounded too: at most one
+     chunk per simultaneously live handle (plus the sequential baseline). *)
+  ignore
+    (Smr_core.Domain_pool.run ~n:4 (fun _ ->
+         for _ = 1 to 50 do
+           let l = Slots.register reg in
+           Slots.unregister l
+         done));
+  Alcotest.(check bool) "bounded under concurrent churn" true
+    (Slots.total_slots reg <= !baseline + (4 * 64))
+
+let test_slots_scan_skips_parked () =
+  let reg = Slots.create () in
+  let stats = Stats.create () in
+  let l1 = Slots.register reg in
+  let l2 = Slots.register reg in
+  let h1 = Mem.make stats and h2 = Mem.make stats in
+  let s1 = Slots.acquire l1 in
+  Slots.set s1 h1;
+  let s2 = Slots.acquire l2 in
+  Slots.set s2 h2;
+  let scan = Slots.scan_create () in
+  Slots.scan_snapshot reg scan;
+  Alcotest.(check int) "two protections captured" 2 (Slots.scan_size scan);
+  Alcotest.(check bool) "h1 member" true (Slots.scan_mem scan (Mem.uid h1));
+  Alcotest.(check bool) "h2 member" true (Slots.scan_mem scan (Mem.uid h2));
+  Alcotest.(check bool) "unknown uid is not a member" false
+    (Slots.scan_mem scan (Mem.uid h1 + Mem.uid h2 + 1));
+  Slots.release l2 s2;
+  Slots.unregister l2;
+  Slots.scan_snapshot reg scan;
+  Alcotest.(check int) "parked chunk no longer scanned" 1
+    (Slots.scan_size scan);
+  Alcotest.(check bool) "h1 still member" true
+    (Slots.scan_mem scan (Mem.uid h1));
+  Alcotest.(check bool) "h2 gone" false (Slots.scan_mem scan (Mem.uid h2));
+  Slots.release l1 s1;
+  Slots.unregister l1
+
+(* Enough slots to spill into several chunks and drive the quicksort path
+   of the scan buffer. *)
+let test_slots_scan_many () =
+  let reg = Slots.create () in
+  let stats = Stats.create () in
+  let l = Slots.register reg in
+  let hdrs = List.init 200 (fun _ -> Mem.make stats) in
+  List.iter
+    (fun h ->
+      let s = Slots.acquire l in
+      Slots.set s h)
+    hdrs;
+  let scan = Slots.scan_create () in
+  Slots.scan_snapshot reg scan;
+  Alcotest.(check int) "all protections captured" 200 (Slots.scan_size scan);
+  List.iter
+    (fun h ->
+      if not (Slots.scan_mem scan (Mem.uid h)) then
+        Alcotest.failf "uid %d missing from scan" (Mem.uid h))
+    hdrs;
+  Slots.unregister l;
+  Slots.scan_snapshot reg scan;
+  Alcotest.(check int) "empty after unregister" 0 (Slots.scan_size scan)
+
 let test_nr_leaks () =
   let t = Nr.create () in
   let h = Nr.register t in
@@ -517,4 +601,13 @@ let () =
         ] );
       ("rc", [ Alcotest.test_case "shared child cascade" `Quick test_rc_shared_child_cascade ]);
       ("nr", [ Alcotest.test_case "leaks by design" `Quick test_nr_leaks ]);
+      ( "slots",
+        [
+          Alcotest.test_case "registry bounded under churn" `Quick
+            test_slots_registry_bounded;
+          Alcotest.test_case "scan skips parked chunks" `Quick
+            test_slots_scan_skips_parked;
+          Alcotest.test_case "scan across many chunks" `Quick
+            test_slots_scan_many;
+        ] );
     ]

@@ -72,14 +72,18 @@ let test_stats_counters () =
   Stats.on_alloc s;
   Stats.on_retire s;
   Stats.on_retire s;
+  (* Peaks fold in at read time (and at the schemes' reclaim entries), not
+     per event: observe the backlog at its maximum before draining it. *)
+  Alcotest.(check int) "peak unreclaimed" 2 (Stats.peak_unreclaimed s);
   Stats.on_free s;
   Alcotest.(check int) "allocated" 3 (Stats.allocated s);
   Alcotest.(check int) "live" 2 (Stats.live s);
   Alcotest.(check int) "unreclaimed" 1 (Stats.unreclaimed s);
-  Alcotest.(check int) "peak unreclaimed" 2 (Stats.peak_unreclaimed s);
+  Alcotest.(check int) "peak survives drain" 2 (Stats.peak_unreclaimed s);
   Alcotest.(check int) "retired total" 2 (Stats.retired_total s);
   Stats.reset s;
-  Alcotest.(check int) "reset" 0 (Stats.allocated s)
+  Alcotest.(check int) "reset" 0 (Stats.allocated s);
+  Alcotest.(check int) "reset clears peak" 0 (Stats.peak_unreclaimed s)
 
 let test_stats_discard () =
   let s = Stats.create () in
@@ -90,16 +94,75 @@ let test_stats_discard () =
 
 let test_stats_concurrent_peak () =
   let s = Stats.create () in
-  let _ =
-    Domain_pool.run ~n:4 (fun _ ->
-        for _ = 1 to 1000 do
-          Stats.on_retire s;
-          Stats.on_free s
-        done)
-  in
+  ignore
+    (Domain_pool.run ~n:4 (fun _ ->
+         for _ = 1 to 1000 do
+           Stats.on_retire s
+         done));
+  Alcotest.(check int) "backlog summed across stripes" 4000
+    (Stats.unreclaimed s);
+  ignore
+    (Domain_pool.run ~n:4 (fun _ ->
+         for _ = 1 to 1000 do
+           Stats.on_free s
+         done));
   Alcotest.(check int) "unreclaimed drains" 0 (Stats.unreclaimed s);
-  Alcotest.(check bool) "peak positive" true (Stats.peak_unreclaimed s >= 1);
+  Alcotest.(check int) "peak survives drain" 4000 (Stats.peak_unreclaimed s);
   Alcotest.(check int) "retired total" 4000 (Stats.retired_total s)
+
+(* The striped-counter contract: concurrent events from many domains sum
+   exactly, reset clears every stripe, and peaks are monotone upper bounds
+   of every value a reading ever reported. *)
+let test_stats_striped_sum () =
+  let s = Stats.create () in
+  let n = 4 and per = 5000 in
+  ignore
+    (Domain_pool.run ~n (fun _ ->
+         for i = 1 to per do
+           Stats.on_alloc s;
+           Stats.on_retire s;
+           if i mod 2 = 0 then Stats.on_free s;
+           if i mod 3 = 0 then Stats.on_heavy_fence s;
+           if i mod 7 = 0 then Stats.on_protection_failure s
+         done));
+  Alcotest.(check int) "allocated sums exactly" (n * per) (Stats.allocated s);
+  Alcotest.(check int) "retired sums exactly" (n * per) (Stats.retired_total s);
+  Alcotest.(check int) "freed sums exactly" (n * per / 2) (Stats.freed s);
+  Alcotest.(check int) "unreclaimed sums exactly" (n * per / 2)
+    (Stats.unreclaimed s);
+  Alcotest.(check int) "heavy fences sum exactly"
+    (n * (per / 3))
+    (Stats.heavy_fences s);
+  Alcotest.(check int) "protection failures sum exactly"
+    (n * (per / 7))
+    (Stats.protection_failures s);
+  Stats.reset s;
+  Alcotest.(check int) "reset allocated" 0 (Stats.allocated s);
+  Alcotest.(check int) "reset unreclaimed" 0 (Stats.unreclaimed s);
+  Alcotest.(check int) "reset peak unreclaimed" 0 (Stats.peak_unreclaimed s);
+  Alcotest.(check int) "reset peak live" 0 (Stats.peak_live s)
+
+let test_stats_peak_upper_bound () =
+  let s = Stats.create () in
+  let maxes =
+    Domain_pool.run ~n:4 (fun _ ->
+        let m = ref 0 in
+        for i = 1 to 2000 do
+          Stats.on_retire s;
+          if i mod 16 = 0 then m := max !m (Stats.unreclaimed s);
+          if i mod 2 = 0 then Stats.on_free s
+        done;
+        !m)
+  in
+  let observed = Array.fold_left max 0 maxes in
+  Alcotest.(check bool) "peak bounds every observed reading" true
+    (Stats.peak_unreclaimed s >= observed);
+  let p1 = Stats.peak_unreclaimed s in
+  ignore (Stats.unreclaimed s);
+  let p2 = Stats.peak_unreclaimed s in
+  Alcotest.(check bool) "peak is monotone" true (p2 >= p1);
+  Alcotest.(check bool) "peak bounds the final backlog" true
+    (p2 >= Stats.unreclaimed s)
 
 let test_tagged_basics () =
   let t = Tagged.make ~tag:0 (Some 42) in
@@ -253,6 +316,9 @@ let () =
           Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "discard" `Quick test_stats_discard;
           Alcotest.test_case "concurrent peak" `Quick test_stats_concurrent_peak;
+          Alcotest.test_case "striped sums" `Quick test_stats_striped_sum;
+          Alcotest.test_case "peak upper bound" `Quick
+            test_stats_peak_upper_bound;
         ] );
       ( "tagged",
         [
