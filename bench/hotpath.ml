@@ -148,6 +148,10 @@ let result_of ~ops ~wall ?(stats : Stats.t option) () : Bench_types.result =
     heavy_fences = (match stats with Some s -> Stats.heavy_fences s | None -> 0);
     protection_failures =
       (match stats with Some s -> Stats.protection_failures s | None -> 0);
+    allocated = (match stats with Some s -> Stats.allocated s | None -> 0);
+    freed = (match stats with Some s -> Stats.freed s | None -> 0);
+    retired_total =
+      (match stats with Some s -> Stats.retired_total s | None -> 0);
   }
 
 let report ~ds ~scheme ~threads ~key_range r =
@@ -345,6 +349,52 @@ let alloc_bench ~threads ~duration =
   report ~ds:"alloc" ~scheme:"global-counter-legacy" ~threads ~key_range:0
     (result_of ~ops ~wall:duration ())
 
+(* --- 5. tracer cost: disabled branch, enabled ring write, traced retire -- *)
+
+module Trace = Obs.Trace
+
+let tracer_bench ~threads ~duration =
+  let emit_loop _ ~stop =
+    let n = ref 0 in
+    while not (stop ()) do
+      for _ = 1 to 64 do
+        Trace.emit Trace.Retire 1 0 0
+      done;
+      n := !n + 64
+    done;
+    !n
+  in
+  let counts = Domain_pool.run_timed ~n:threads ~duration emit_loop in
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"tracer" ~scheme:"emit-disabled" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ());
+  Trace.enable ~capacity:4096 ();
+  let counts = Domain_pool.run_timed ~n:threads ~duration emit_loop in
+  Trace.disable ();
+  Trace.reset ();
+  let ops = Array.fold_left ( + ) 0 counts in
+  report ~ds:"tracer" ~scheme:"emit-enabled" ~threads ~key_range:0
+    (result_of ~ops ~wall:duration ())
+
+(* The acceptance row for the <2% disabled-overhead budget is the plain
+   retire-reclaim bench above (its hooks all take the disabled branch);
+   these rows show what fully enabled tracing costs the same loop. *)
+let traced_retire_bench ~threads ~duration =
+  Trace.enable ~capacity:16384 ();
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      let ops, stats = f () in
+      let wall = Unix.gettimeofday () -. t0 in
+      report ~ds:"retire-reclaim-traced" ~scheme:name ~threads ~key_range:0
+        (result_of ~ops ~wall ~stats ()))
+    [
+      ("HP", fun () -> Hp_loop.run ~threads ~duration);
+      ("HP++", fun () -> Hpp_loop.run ~threads ~duration);
+    ];
+  Trace.disable ();
+  Trace.reset ()
+
 (* --- Anomaly gate (CI hotpath-smoke fails on nonzero exit) --------------- *)
 
 let check_anomalies schemes_stats =
@@ -366,7 +416,9 @@ let run ~threads_list ~duration =
     (fun threads ->
       retire_reclaim_bench ~threads ~duration;
       stats_bench ~threads ~duration;
-      alloc_bench ~threads ~duration)
+      alloc_bench ~threads ~duration;
+      tracer_bench ~threads ~duration;
+      traced_retire_bench ~threads ~duration)
     threads_list;
   List.iter (fun handles -> scan_bench ~handles ~duration) [ 1; 4; 16; 64 ];
   (* A final guarded retire run with stats retained for the anomaly gate. *)

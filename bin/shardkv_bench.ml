@@ -19,6 +19,7 @@ module Report = Bench_harness.Report
 module Json = Service.Json
 module Key_dist = Service.Key_dist
 module St = Service.Service_stats
+module Trace = Obs.Trace
 
 type params = {
   domains : int;
@@ -215,13 +216,51 @@ let no_uaf_arg =
   let doc = "Disable the use-after-free detector during load." in
   Arg.(value & flag & info [ "no-uaf-check" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record SMR events and op spans, write a Chrome trace-event JSON \
+     (Perfetto-loadable) to $(docv), and replay-check the trace."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_raw_arg =
+  let doc =
+    "Also write the raw trace ($(b,seq ts dom kind uid a b) lines, the \
+     format trace_check.exe reads) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-raw" ] ~docv:"FILE" ~doc)
+
+let trace_depth_arg =
+  let doc = "Trace ring capacity per domain, in events." in
+  Arg.(value & opt int 65536 & info [ "trace-depth" ] ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a Prometheus-style text exposition of every cell's counters to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let split_commas s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
 
+let span_name =
+  let names = Array.of_list (List.map St.op_name St.all_ops) in
+  fun op ->
+    if op >= 0 && op < Array.length names then names.(op)
+    else "op" ^ string_of_int op
+
 let main shards domains duration keys read_pct mg_pct batch dist theta prefill
-    schemes json no_uaf =
+    schemes json no_uaf trace trace_raw trace_depth metrics =
   if no_uaf then Smr_core.Mem.set_checking false;
+  let tracing = trace <> None || trace_raw <> None in
+  if tracing then begin
+    (* one clock for instants and span starts, monotonic so the Perfetto
+       timeline cannot jump backwards *)
+    Trace.set_clock (fun () -> Int64.to_int (Monotonic_clock.now ()));
+    Trace.enable ~capacity:trace_depth ()
+  end;
   let write_pct = max 0 (100 - read_pct) in
   let insert_pct = (write_pct + 1) / 2 in
   let workload =
@@ -287,8 +326,46 @@ let main shards domains duration keys read_pct mg_pct batch dist theta prefill
            ]);
       Printf.printf "wrote %d cells to %s\n%!" (List.length cells) path)
     json;
+  let trace_violations = ref 0 in
+  if tracing then begin
+    Trace.disable ();
+    let snap = Trace.snapshot () in
+    Option.iter
+      (fun path ->
+        Obs.Chrome.write ~span_name path snap;
+        Printf.printf "wrote %d trace events to %s (dropped %d)\n%!"
+          (Array.length snap.Trace.events)
+          path snap.Trace.dropped)
+      trace;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Trace.write_raw oc snap);
+        Printf.printf "wrote raw trace to %s\n%!" path)
+      trace_raw;
+    (match Obs.Check.run_snapshot snap with
+    | Ok summary ->
+        Format.printf "trace check: clean — %a@." Obs.Check.pp_summary summary
+    | Error vs ->
+        trace_violations := List.length vs;
+        Printf.printf "trace check: %d violation(s)\n" !trace_violations;
+        List.iteri
+          (fun i v ->
+            if i < 20 then Format.printf "  %a@." Obs.Check.pp_violation v)
+          vs)
+  end;
+  Option.iter
+    (fun path ->
+      let m = Obs.Metrics.create () in
+      List.iter (fun c -> Service.Telemetry.add_service_snapshot m c.snap) cells;
+      if tracing then Service.Telemetry.add_trace_snapshot m (Trace.snapshot ());
+      Obs.Metrics.write path m;
+      Printf.printf "wrote metrics exposition to %s\n%!" path)
+    metrics;
   let total_anomalies = List.fold_left (fun a c -> a + c.anomalies) 0 cells in
-  if total_anomalies > 0 then exit 1
+  if total_anomalies > 0 || !trace_violations > 0 then exit 1
 
 let cmd =
   let doc = "Closed-loop load generator for the shardkv service layer" in
@@ -297,6 +374,7 @@ let cmd =
     Term.(
       const main $ shards_arg $ domains_arg $ duration_arg $ keys_arg
       $ read_pct_arg $ mg_pct_arg $ batch_arg $ dist_arg $ theta_arg
-      $ prefill_arg $ schemes_arg $ json_arg $ no_uaf_arg)
+      $ prefill_arg $ schemes_arg $ json_arg $ no_uaf_arg $ trace_arg
+      $ trace_raw_arg $ trace_depth_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,11 +1,104 @@
 (* Long-running randomized soak of every data structure x scheme pair with
-   the use-after-free detector on. Usage: soak [rounds] [domains]. *)
+   the use-after-free detector on.
+
+   Usage: soak [rounds] [domains] [options]
+     --every SEC        print a one-line progress snapshot every SEC seconds
+     --trace FILE       record SMR events, write Chrome trace JSON to FILE
+     --trace-raw FILE   write the raw trace artifact (trace_check format)
+     --metrics FILE     write per-pair reclamation counters (Prometheus text)
+     --trace-depth N    trace ring capacity per domain (default 65536)
+
+   A recorded trace is replay-checked in-process before exit; protocol
+   violations fail the soak. *)
 
 module Pool = Smr_core.Domain_pool
 module Rng = Smr_core.Rng
+module Stats = Smr_core.Stats
+module Trace = Obs.Trace
 
-let rounds = try int_of_string Sys.argv.(1) with _ -> 5
-let domains = try int_of_string Sys.argv.(2) with _ -> 4
+(* --- minimal argv parsing: positionals then --flag VALUE pairs ----------- *)
+
+let usage () =
+  prerr_endline
+    "usage: soak [rounds] [domains] [--every SEC] [--trace FILE]\n\
+    \            [--trace-raw FILE] [--metrics FILE] [--trace-depth N]";
+  exit 2
+
+let rounds = ref 5
+let domains = ref 4
+let every = ref 0.0 (* 0 = no progress ticker *)
+let trace_out = ref None
+let trace_raw_out = ref None
+let metrics_out = ref None
+let trace_depth = ref 65536
+
+let () =
+  let rec parse pos = function
+    | [] -> ()
+    | "--every" :: v :: rest ->
+        every := float_of_string v;
+        parse pos rest
+    | "--trace" :: v :: rest ->
+        trace_out := Some v;
+        parse pos rest
+    | "--trace-raw" :: v :: rest ->
+        trace_raw_out := Some v;
+        parse pos rest
+    | "--metrics" :: v :: rest ->
+        metrics_out := Some v;
+        parse pos rest
+    | "--trace-depth" :: v :: rest ->
+        trace_depth := int_of_string v;
+        parse pos rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
+    | a :: rest ->
+        (match pos with
+        | 0 -> rounds := int_of_string a
+        | 1 -> domains := int_of_string a
+        | _ -> usage ());
+        parse (pos + 1) rest
+  in
+  match parse 0 (List.tl (Array.to_list Sys.argv)) with
+  | () -> ()
+  | exception _ -> usage ()
+
+(* --- progress ticker ----------------------------------------------------- *)
+
+(* One writer per field; the ticker domain reads racily, which is fine for a
+   progress line. Workers batch their op counts to keep the shared counter
+   off the hot path. *)
+type progress = {
+  mutable label : string;
+  ops : int Atomic.t;
+  mutable stats : Stats.t option;
+}
+
+let progress = { label = "startup"; ops = Atomic.make 0; stats = None }
+let ticker_stop = Atomic.make false
+
+let spawn_ticker period =
+  Domain.spawn (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let last_ops = ref 0 and last_t = ref t0 in
+      while not (Atomic.get ticker_stop) do
+        Unix.sleepf period;
+        let now = Unix.gettimeofday () in
+        let ops = Atomic.get progress.ops in
+        let rate = float_of_int (ops - !last_ops) /. (now -. !last_t) in
+        last_ops := ops;
+        last_t := now;
+        match progress.stats with
+        | None -> ()
+        | Some s ->
+            Printf.printf
+              "[%6.1fs] %-16s %8.0f ops/s | retired %d, reclaimed %d, \
+               unreclaimed %d (peak %d)\n\
+               %!"
+              (now -. t0) progress.label rate (Stats.retired_total s)
+              (Stats.freed s) (Stats.unreclaimed s) (Stats.peak_unreclaimed s)
+      done)
+
+let metrics_reg = Obs.Metrics.create ()
 
 module Drive
     (S : Smr.Smr_intf.S) (L : sig
@@ -22,33 +115,48 @@ module Drive
     end) =
 struct
   let run name =
-    for round = 1 to rounds do
+    progress.label <- name;
+    for round = 1 to !rounds do
       let scheme = S.create () in
+      progress.stats <- Some (S.stats scheme);
       let t = L.create scheme in
       let _ =
-        Pool.run_timed ~n:domains ~duration:0.25 (fun i ~stop ->
+        Pool.run_timed ~n:!domains ~duration:0.25 (fun i ~stop ->
             let h = S.register scheme in
             let lo = L.make_local h in
             let rng = Rng.create ~seed:((round * 97) + i) in
+            let local_ops = ref 0 in
             while not (stop ()) do
               let key = Rng.below rng 48 in
-              match Rng.below rng 4 with
+              (match Rng.below rng 4 with
               | 0 | 1 -> ignore (L.get t lo key)
               | 2 -> ignore (L.insert t lo key key)
-              | _ -> ignore (L.remove t lo key)
+              | _ -> ignore (L.remove t lo key));
+              incr local_ops;
+              if !local_ops land 1023 = 0 then begin
+                ignore (Atomic.fetch_and_add progress.ops 1024)
+              end
             done;
+            ignore (Atomic.fetch_and_add progress.ops (!local_ops land 1023));
             L.clear_local lo;
             S.unregister h)
       in
       let contents = L.to_list t in
       let keys = List.map fst contents in
-      assert (keys = List.sort_uniq compare keys)
+      assert (keys = List.sort_uniq compare keys);
+      if round = !rounds && !metrics_out <> None then
+        Service.Telemetry.add_smr_stats metrics_reg
+          ~labels:[ ("pair", name) ]
+          (S.stats scheme)
     done;
-    Printf.printf "soak ok: %s (%d rounds x %d domains)\n%!" name rounds
-      domains
+    Printf.printf "soak ok: %s (%d rounds x %d domains)\n%!" name !rounds
+      !domains
 end
 
 let () =
+  let tracing = !trace_out <> None || !trace_raw_out <> None in
+  if tracing then Trace.enable ~capacity:!trace_depth ();
+  let ticker = if !every > 0.0 then Some (spawn_ticker !every) else None in
   let module M1 = Drive (Hp) (Smr_ds.Hmlist.Make (Hp)) in
   M1.run "hmlist/HP";
   let module M2 = Drive (Hp_plus) (Smr_ds.Hmlist.Make (Hp_plus)) in
@@ -89,4 +197,45 @@ let () =
   M19.run "bonsai/PEBR";
   let module M20 = Drive (Rc) (Smr_ds.Bonsai.Make (Rc)) in
   M20.run "bonsai/RC";
+  Option.iter
+    (fun t ->
+      Atomic.set ticker_stop true;
+      Domain.join t)
+    ticker;
+  let violations = ref 0 in
+  if tracing then begin
+    Trace.disable ();
+    let snap = Trace.snapshot () in
+    Option.iter
+      (fun path ->
+        Obs.Chrome.write path snap;
+        Printf.printf "wrote %d trace events to %s (dropped %d)\n%!"
+          (Array.length snap.Trace.events)
+          path snap.Trace.dropped)
+      !trace_out;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Trace.write_raw oc snap);
+        Printf.printf "wrote raw trace to %s\n%!" path)
+      !trace_raw_out;
+    match Obs.Check.run_snapshot snap with
+    | Ok summary ->
+        Format.printf "trace check: clean — %a@." Obs.Check.pp_summary summary
+    | Error vs ->
+        violations := List.length vs;
+        Printf.printf "trace check: %d violation(s)\n" !violations;
+        List.iteri
+          (fun i v ->
+            if i < 20 then Format.printf "  %a@." Obs.Check.pp_violation v)
+          vs
+  end;
+  Option.iter
+    (fun path ->
+      Obs.Metrics.write path metrics_reg;
+      Printf.printf "wrote metrics exposition to %s\n%!" path)
+    !metrics_out;
+  if !violations > 0 then exit 1;
   print_endline "all soaks passed"

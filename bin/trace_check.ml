@@ -1,0 +1,39 @@
+(* Replay-check a raw trace artifact (written by shardkv_bench --trace-raw
+   or soak --trace-raw) against the SMR protocol invariants. Usage:
+
+     trace_check FILE [FILE...]      (or "-" for stdin)
+
+   Exits 0 if every trace is clean, 1 if any violates an invariant, 2 on a
+   malformed file. *)
+
+let check_channel name ic =
+  let snap = Obs.Trace.read_raw ic in
+  match Obs.Check.run_snapshot snap with
+  | Ok summary ->
+      Format.printf "%s: clean — %a@." name Obs.Check.pp_summary summary;
+      true
+  | Error vs ->
+      Printf.printf "%s: %d violation(s)\n" name (List.length vs);
+      List.iter (fun v -> Format.printf "  %a@." Obs.Check.pp_violation v) vs;
+      false
+
+let check_file path =
+  if path = "-" then check_channel "<stdin>" stdin
+  else
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> check_channel path ic)
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as files) -> files
+    | _ ->
+        prerr_endline "usage: trace_check FILE [FILE...]  ('-' for stdin)";
+        exit 2
+  in
+  match List.for_all check_file files with
+  | true -> ()
+  | false -> exit 1
+  | exception (Failure msg | Sys_error msg) ->
+      Printf.eprintf "trace_check: %s\n" msg;
+      exit 2

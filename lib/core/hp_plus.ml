@@ -3,6 +3,7 @@ module Stats = Smr_core.Stats
 module Slots = Smr.Slots
 module Orphanage = Smr.Orphanage
 module Retire_bag = Smr.Retire_bag
+module Trace = Obs.Trace
 
 let name = "HP++"
 let robust = true
@@ -16,6 +17,7 @@ type t = {
   config : Smr.Smr_intf.config;
   fence_epoch : int Atomic.t;
   orphans : Orphanage.t;
+  unlink_counter : int Atomic.t; (* globally unique batch ids, trace only *)
 }
 
 (* One successful TryUnlink, awaiting DoInvalidation: the closure invalidates
@@ -26,6 +28,7 @@ type deferred = {
   invalidate_all : unit -> unit;
   hdrs : Mem.header list;
   frontier_slots : Slots.slot list;
+  batch_id : int; (* ties this batch's Unlink/Invalidate trace events *)
 }
 
 type handle = {
@@ -48,6 +51,7 @@ let create ?(config = Smr.Smr_intf.default_config) () =
     config;
     fence_epoch = Atomic.make 0;
     orphans = Orphanage.create ();
+    unlink_counter = Atomic.make 0;
   }
 
 let stats t = t.stats
@@ -81,7 +85,8 @@ let release g = Slots.clear g.slot
    drives piggybacked hazard revocation, is implemented literally. *)
 let heavy_fence t =
   let epoch = Atomic.get t.fence_epoch in
-  ignore (Atomic.compare_and_set t.fence_epoch epoch (epoch + 1));
+  if Atomic.compare_and_set t.fence_epoch epoch (epoch + 1) then
+    Trace.emit Trace.Epoch_advance (-1) (epoch + 1) 0;
   Stats.on_heavy_fence t.stats
 
 (* Algorithm 5 ReadEpoch: a light fence bracketed by two reads that must
@@ -110,7 +115,17 @@ let do_invalidation h =
   | batch ->
       h.unlinkeds <- [];
       h.unlinks_since_invalidation <- 0;
-      List.iter (fun d -> d.invalidate_all ()) batch;
+      (* Invalidate events are emitted after the links are actually marked,
+         so in merged seq order a batch member's Invalidate always precedes
+         the Free that the trace checker pairs it with. *)
+      List.iter
+        (fun d ->
+          d.invalidate_all ();
+          if Trace.enabled () then
+            List.iter
+              (fun hdr -> Trace.emit Trace.Invalidate (Mem.uid hdr) d.batch_id 0)
+              d.hdrs)
+        batch;
       let hdrs = List.concat_map (fun d -> d.hdrs) batch in
       let slots = List.concat_map (fun d -> d.frontier_slots) batch in
       if t.config.epoched_fence then begin
@@ -144,6 +159,7 @@ let reclaim h =
     release_epoched h
   end;
   Slots.scan_snapshot t.registry h.scan;
+  let before = Retire_bag.length h.retireds in
   Retire_bag.filter_in_place
     (fun hdr ->
       if Slots.scan_mem h.scan (Mem.uid hdr) then true
@@ -152,7 +168,11 @@ let reclaim h =
         Stats.on_free t.stats;
         false
       end)
-    h.retireds
+    h.retireds;
+  if Trace.enabled () then
+    Trace.emit Trace.Reclaim_pass (-1)
+      (before - Retire_bag.length h.retireds)
+      (Slots.scan_size h.scan)
 
 let maybe_collect h =
   let c = h.shared.config in
@@ -188,16 +208,22 @@ let try_unlink h ~frontier ~do_unlink ~node_header ~invalidate =
       false
   | Some nodes ->
       let hdrs = List.map node_header nodes in
+      let batch_id =
+        if Trace.enabled () then Atomic.fetch_and_add h.shared.unlink_counter 1
+        else 0
+      in
       List.iter
         (fun hdr ->
           Mem.retire_mark hdr;
-          Stats.on_retire h.shared.stats)
+          Stats.on_retire h.shared.stats;
+          if Trace.enabled () then Trace.emit Trace.Unlink (Mem.uid hdr) batch_id 0)
         hdrs;
       h.unlinkeds <-
         {
           invalidate_all = (fun () -> invalidate nodes);
           hdrs;
           frontier_slots = slots;
+          batch_id;
         }
         :: h.unlinkeds;
       h.unlinks_since_invalidation <- h.unlinks_since_invalidation + 1;

@@ -4,6 +4,8 @@ module Mem = Smr_core.Mem
 module Tagged = Smr_core.Tagged
 module Link = Smr_core.Link
 
+module Trace = Obs.Trace
+
 module Make (S : Smr.Smr_intf.S) = struct
   (** Outcome of protecting the target of a link (paper Algorithm 3
       TryProtect). [Ok l] is the current value of [src_link] — same target
@@ -12,22 +14,53 @@ module Make (S : Smr.Smr_intf.S) = struct
       caller must recover, typically by restarting the operation. *)
   type 'n protect_outcome = Ok of 'n Tagged.t | Invalid
 
+  let uid_of_hdr = function Some h -> Mem.uid h | None -> -1
+
+  (* A validated protection (the slot store survived validation) plus the
+     traversal step it enables. The Step event records the tag bits actually
+     read from [src_link]: a scheme or structure that wrongly proceeds past
+     an invalidated link would record the invalid bit here, which is exactly
+     what the trace-replay checker flags. *)
+  let trace_step ~node_header ~src ~validated l =
+    let dst = Tagged.ptr l in
+    (match dst with
+    | Some n when validated -> Trace.emit Trace.Protect (Mem.uid (node_header n)) 0 0
+    | _ -> ());
+    Trace.emit Trace.Step (uid_of_hdr src)
+      (match dst with Some n -> Mem.uid (node_header n) | None -> -1)
+      (Tagged.tag l)
+
   (* Under-approximating validation: protection only fails when [src_link]
      carries the invalidation bit; logical-deletion tags are ignored, so
      optimistic traversal through deleted chains succeeds. If the link moved
-     to a new target, chase it (announcing protection anew each time). *)
-  let try_protect ~node_header guard handle ~src_link expected =
-    if not S.needs_protection then Ok expected
+     to a new target, chase it (announcing protection anew each time).
+     [?src] is the node [src_link] lives in, for the trace only. *)
+  let try_protect ?src ~node_header guard handle ~src_link expected =
+    if not S.needs_protection then begin
+      if Trace.enabled () then
+        trace_step ~node_header ~src ~validated:false expected;
+      Ok expected
+    end
     else
       let rec loop exp =
         (match Tagged.ptr exp with
         | Some n -> S.protect guard (node_header n)
         | None -> ());
-        if not (S.protection_valid handle) then Invalid
+        if not (S.protection_valid handle) then begin
+          Trace.emit Trace.Validation_fail (uid_of_hdr src) 0 0;
+          Invalid
+        end
         else
           let l = Link.get src_link in
-          if Tagged.is_invalid l then Invalid
-          else if Tagged.same_ptr l exp then Ok l
+          if Tagged.is_invalid l then begin
+            Trace.emit Trace.Validation_fail (uid_of_hdr src) (Tagged.tag l) 0;
+            Invalid
+          end
+          else if Tagged.same_ptr l exp then begin
+            if Trace.enabled () then
+              trace_step ~node_header ~src ~validated:true l;
+            Ok l
+          end
           else loop l
       in
       loop expected
@@ -35,16 +68,30 @@ module Make (S : Smr.Smr_intf.S) = struct
   (* Over-approximating validation (original HP, paper §2.2): succeed only
      if [src_link] still holds exactly [expected]'s target with a clean tag;
      any change — including the source's logical deletion — fails. *)
-  let protect_pessimistic ~node_header guard handle ~src_link expected =
-    if not S.needs_protection then true
+  let protect_pessimistic ?src ~node_header guard handle ~src_link expected =
+    if not S.needs_protection then begin
+      if Trace.enabled () then
+        trace_step ~node_header ~src ~validated:false expected;
+      true
+    end
     else begin
       (match Tagged.ptr expected with
       | Some n -> S.protect guard (node_header n)
       | None -> ());
-      S.protection_valid handle
-      &&
-      let l = Link.get src_link in
-      Tagged.same_ptr l expected && Tagged.tag l = 0
+      if
+        S.protection_valid handle
+        &&
+        let l = Link.get src_link in
+        Tagged.same_ptr l expected && Tagged.tag l = 0
+      then begin
+        if Trace.enabled () then
+          trace_step ~node_header ~src ~validated:true expected;
+        true
+      end
+      else begin
+        Trace.emit Trace.Validation_fail (uid_of_hdr src) 0 0;
+        false
+      end
     end
 
   (* Run [body] inside a critical section until it completes. [`Prot] is a

@@ -134,8 +134,9 @@ module Make (S : Smr.Smr_intf.S) = struct
     in
     let rec loop prev_node prev_link cur_t anchor =
       match
-        C.try_protect ~node_header l.hp_cur l.handle ~src_link:prev_link
-          cur_t
+        C.try_protect
+          ?src:(match prev_node with Some p -> Some p.hdr | None -> None)
+          ~node_header l.hp_cur l.handle ~src_link:prev_link cur_t
       with
       | C.Invalid -> `Prot
       | C.Ok cur_t -> (
@@ -181,10 +182,10 @@ module Make (S : Smr.Smr_intf.S) = struct
      ignores logical deletion entirely and never writes. *)
   let get t l key =
     C.with_crit l.handle (stats t) (fun () ->
-        let rec walk prev_link cur_t =
+        let rec walk src prev_link cur_t =
           match
-            C.try_protect ~node_header l.hp_cur l.handle ~src_link:prev_link
-              cur_t
+            C.try_protect ?src ~node_header l.hp_cur l.handle
+              ~src_link:prev_link cur_t
           with
           | C.Invalid -> `Prot
           | C.Ok cur_t -> (
@@ -200,10 +201,10 @@ module Make (S : Smr.Smr_intf.S) = struct
                        else Some cur.value)
                   else begin
                     swap_prev_cur l;
-                    walk cur.next next_t
+                    walk (Some cur.hdr) cur.next next_t
                   end)
         in
-        walk t.head (Link.get t.head))
+        walk None t.head (Link.get t.head))
 
   let insert t l key value =
     let fresh = ref None in

@@ -1,6 +1,7 @@
 module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
 module Retire_bag = Smr.Retire_bag
+module Trace = Obs.Trace
 
 let name = "EBR"
 let robust = false
@@ -98,8 +99,8 @@ let try_advance t =
        to the next advance attempt. *)
     ignore (Atomic.compare_and_set t.participants ps pruned)
   end;
-  if !all_current then
-    ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
+  if !all_current && Atomic.compare_and_set t.global_epoch epoch (epoch + 1)
+  then Trace.emit Trace.Epoch_advance (-1) (epoch + 1) 0
 
 let rec adopt_orphans t =
   let cur = Atomic.get t.orphans in
@@ -114,6 +115,7 @@ let collect h =
   try_advance t;
   let epoch = Atomic.get t.global_epoch in
   List.iter (Retire_bag.push h.bag) (adopt_orphans t);
+  let before = Retire_bag.length h.bag in
   Retire_bag.filter_in_place
     (fun (e, thunk) ->
       if e + 2 <= epoch then begin
@@ -121,7 +123,11 @@ let collect h =
         false
       end
       else true)
-    h.bag
+    h.bag;
+  if Trace.enabled () then
+    Trace.emit Trace.Reclaim_pass (-1)
+      (before - Retire_bag.length h.bag)
+      epoch
 
 let defer h thunk =
   let epoch = Atomic.get h.shared.global_epoch in

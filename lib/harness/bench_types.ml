@@ -26,6 +26,9 @@ type result = {
   peak_live : int;
   heavy_fences : int;
   protection_failures : int;
+  allocated : int;
+  freed : int;
+  retired_total : int;
 }
 
 let throughput r = r.throughput_mops
@@ -39,4 +42,7 @@ let metric_of_name : string -> metric = function
   | "peak-live" -> fun r -> float_of_int r.peak_live
   | "heavy-fences" -> fun r -> float_of_int r.heavy_fences
   | "protection-failures" -> fun r -> float_of_int r.protection_failures
+  | "allocated" -> fun r -> float_of_int r.allocated
+  | "freed" -> fun r -> float_of_int r.freed
+  | "retired-total" -> fun r -> float_of_int r.retired_total
   | s -> invalid_arg ("unknown metric: " ^ s)

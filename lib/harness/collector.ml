@@ -41,6 +41,9 @@ let result_json (r : result) =
       ("peak_live", Service.Json.Int r.peak_live);
       ("heavy_fences", Service.Json.Int r.heavy_fences);
       ("protection_failures", Service.Json.Int r.protection_failures);
+      ("allocated", Service.Json.Int r.allocated);
+      ("freed", Service.Json.Int r.freed);
+      ("retired_total", Service.Json.Int r.retired_total);
     ]
 
 let row_json row =

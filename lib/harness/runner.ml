@@ -74,6 +74,9 @@ let assemble_result ~ops ~wall ~avg_unreclaimed stats =
     peak_live = Stats.peak_live stats;
     heavy_fences = Stats.heavy_fences stats;
     protection_failures = Stats.protection_failures stats;
+    allocated = Stats.allocated stats;
+    freed = Stats.freed stats;
+    retired_total = Stats.retired_total stats;
   }
 
 module Make (D : DS) = struct

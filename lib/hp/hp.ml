@@ -3,6 +3,7 @@ module Stats = Smr_core.Stats
 module Slots = Smr.Slots
 module Orphanage = Smr.Orphanage
 module Retire_bag = Smr.Retire_bag
+module Trace = Obs.Trace
 
 let name = "HP"
 let robust = true
@@ -65,6 +66,7 @@ let reclaim h =
   Stats.note_peaks t.stats;
   Stats.on_heavy_fence t.stats;
   Slots.scan_snapshot t.registry h.scan;
+  let before = Retire_bag.length h.retireds in
   Retire_bag.filter_in_place
     (fun hdr ->
       if Slots.scan_mem h.scan (Mem.uid hdr) then true
@@ -73,7 +75,11 @@ let reclaim h =
         Stats.on_free t.stats;
         false
       end)
-    h.retireds
+    h.retireds;
+  if Trace.enabled () then
+    Trace.emit Trace.Reclaim_pass (-1)
+      (before - Retire_bag.length h.retireds)
+      (Slots.scan_size h.scan)
 
 let retire h hdr =
   Mem.retire_mark hdr;

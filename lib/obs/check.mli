@@ -1,0 +1,54 @@
+(** Offline trace-replay protocol checker.
+
+    Replays a merged, sequence-ordered trace ({!Trace.snapshot}) and checks
+    the temporal invariants the reclamation schemes promise (paper
+    Algorithms 2–5); see DESIGN.md §9 for the invariant-to-paper mapping.
+
+    - [lifecycle]: a block is retired at most once, freed at most once, and
+      only freed after retirement (RC cascade frees excepted).
+    - [protect-window]: no [Free] of a uid while any validated protection of
+      it ([Protect] … [Unprotect]) is open — the hazard-pointer guarantee
+      (Algorithm 2 line 11 / Algorithm 5 lines 11–16).
+    - [invalidate-before-free]: a node retired through TryUnlink is freed
+      only after its whole unlink batch has been invalidated (Algorithm 3
+      lines 22–31 / Algorithm 5 lines 3–10: DoInvalidation completes before
+      Reclaim may free).
+    - [step-from-invalidated]: no traversal step whose source link carried
+      the invalidation bit (Algorithm 4 line 10: validation must fail), and
+      no step from a node the stepping domain itself already invalidated.
+    - [step-from-freed]: no traversal step out of an already-freed node —
+      the temporal twin of the deterministic UAF detector.
+
+    Ring wraparound is tolerated: events below [complete_from] update
+    replay state but never raise violations, since their context may have
+    been overwritten. *)
+
+type violation = {
+  v_seq : int;  (** sequence number of the offending event *)
+  v_dom : int;
+  v_uid : int;
+  v_rule : string;  (** stable rule id, e.g. ["protect-window"] *)
+  v_detail : string;  (** human-readable diagnostic *)
+}
+
+type summary = {
+  events : int;
+  domains : int;
+  allocs : int;
+  frees : int;
+  protects : int;
+  steps : int;
+  spans : int;
+  unlink_batches : int;
+  below_horizon : int;  (** events before [complete_from], state-only *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_summary : Format.formatter -> summary -> unit
+
+val run : ?complete_from:int -> Trace.event array -> (summary, violation list) result
+(** Replay [events] (must be sorted by [seq]; {!Trace.snapshot} and
+    {!Trace.read_raw} both are). Returns all violations, most severe first
+    (by rule, then by sequence number), or a summary when clean. *)
+
+val run_snapshot : Trace.snapshot -> (summary, violation list) result

@@ -1,0 +1,81 @@
+(** Chrome trace-event JSON ("JSON Array Format" with metadata), loadable in
+    Perfetto / chrome://tracing: one track (tid) per domain, SMR events as
+    thread-scoped instants, shardkv op spans as complete ("X") events.
+    Timestamps are microseconds; the tracer records nanoseconds. *)
+
+let buf_add_float buf x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" x)
+
+let add_common buf ~name ~ph ~ts ~dom =
+  Buffer.add_string buf "{\"name\":\"";
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf ph;
+  Buffer.add_string buf "\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int dom);
+  Buffer.add_string buf ",\"ts\":";
+  buf_add_float buf (float_of_int ts /. 1e3)
+
+let default_span_name op = "op" ^ string_of_int op
+
+(* [span_name] maps a Span event's op code ([a]) to a track-event name;
+   shardkv passes its Service_stats op table. *)
+let to_buffer ?(span_name = default_span_name) (snap : Trace.snapshot) buf =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+  in
+  (* name the per-domain tracks *)
+  let doms = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      if not (Hashtbl.mem doms e.dom) then begin
+        Hashtbl.add doms e.dom ();
+        sep ();
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+              \"args\":{\"name\":\"domain %d\"}}"
+             e.dom e.dom)
+      end)
+    snap.events;
+  Array.iter
+    (fun (e : Trace.event) ->
+      sep ();
+      match e.kind with
+      | Trace.Span ->
+          add_common buf ~name:(span_name e.a) ~ph:"X" ~ts:e.ts ~dom:e.dom;
+          Buffer.add_string buf ",\"dur\":";
+          buf_add_float buf (float_of_int e.b /. 1e3);
+          Buffer.add_string buf
+            (Printf.sprintf ",\"args\":{\"seq\":%d}}" e.seq)
+      | _ ->
+          add_common buf ~name:(Trace.kind_name e.kind) ~ph:"i" ~ts:e.ts
+            ~dom:e.dom;
+          Buffer.add_string buf
+            (Printf.sprintf
+               ",\"s\":\"t\",\"args\":{\"seq\":%d,\"uid\":%d,\"a\":%d,\
+                \"b\":%d}}"
+               e.seq e.uid e.a e.b))
+    snap.events;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":%d,\
+        \"complete_from\":%d}}"
+       snap.dropped snap.complete_from)
+
+let to_string ?span_name snap =
+  let buf = Buffer.create (4096 + (Array.length snap.Trace.events * 96)) in
+  to_buffer ?span_name snap buf;
+  Buffer.contents buf
+
+let write ?span_name path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string ?span_name snap);
+      output_char oc '\n')

@@ -1,0 +1,110 @@
+(** Prometheus-style text exposition builder.
+
+    A generic registry of metric families: callers record plain floats under
+    a name, an optional label set, and a metric type, and {!to_string}
+    renders the standard text format ([# HELP] / [# TYPE] once per family,
+    one [name{labels} value] line per series, insertion-ordered). The
+    builder is deliberately value-based — it knows nothing about [Stats] or
+    histograms; bridges like [Service.Telemetry] feed it snapshots, so this
+    module stays dependency-free and usable from any layer. *)
+
+type series = { labels : (string * string) list; value : float }
+
+type family = {
+  name : string;
+  typ : string;
+  help : string;
+  mutable series : series list; (* reversed *)
+}
+
+type t = { mutable families : family list (* reversed *) }
+
+let create () = { families = [] }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let family t ~typ ?(help = "") name =
+  if not (valid_name name) then
+    invalid_arg ("Metrics: invalid metric name: " ^ name);
+  match List.find_opt (fun f -> f.name = name) t.families with
+  | Some f -> f
+  | None ->
+      let f = { name; typ; help; series = [] } in
+      t.families <- f :: t.families;
+      f
+
+let add t ~typ ?help ?(labels = []) name value =
+  let f = family t ~typ ?help name in
+  f.series <- { labels; value } :: f.series
+
+let counter t ?help ?labels name value = add t ~typ:"counter" ?help ?labels name value
+let gauge t ?help ?labels name value = add t ~typ:"gauge" ?help ?labels name value
+
+(** [summary t name ~quantiles ~count ~sum]: a Prometheus summary —
+    [name{quantile="0.5"} v] series plus [name_count] and [name_sum]. *)
+let summary t ?help ?(labels = []) name ~quantiles ~count ~sum =
+  let f = family t ~typ:"summary" ?help name in
+  List.iter
+    (fun (q, v) ->
+      f.series <-
+        { labels = labels @ [ ("quantile", Printf.sprintf "%g" q) ]; value = v }
+        :: f.series)
+    quantiles;
+  add t ~typ:"untyped-hidden" ~labels (name ^ "_count") (float_of_int count);
+  add t ~typ:"untyped-hidden" ~labels (name ^ "_sum") sum
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      if f.help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.name f.help);
+      if f.typ <> "untyped-hidden" then
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.name f.typ);
+      List.iter
+        (fun s ->
+          Buffer.add_string buf f.name;
+          (match s.labels with
+          | [] -> ()
+          | ls ->
+              Buffer.add_char buf '{';
+              List.iteri
+                (fun i (k, v) ->
+                  if i > 0 then Buffer.add_char buf ',';
+                  Buffer.add_string buf k;
+                  Buffer.add_string buf "=\"";
+                  Buffer.add_string buf (escape_label_value v);
+                  Buffer.add_char buf '"')
+                ls;
+              Buffer.add_char buf '}');
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (render_value s.value);
+          Buffer.add_char buf '\n')
+        (List.rev f.series))
+    (List.rev t.families);
+  Buffer.contents buf
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

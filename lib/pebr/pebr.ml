@@ -2,6 +2,7 @@ module Mem = Smr_core.Mem
 module Stats = Smr_core.Stats
 module Slots = Smr.Slots
 module Retire_bag = Smr.Retire_bag
+module Trace = Obs.Trace
 
 let name = "PEBR"
 let robust = true
@@ -118,8 +119,10 @@ let try_advance ?(force = false) t =
     let pruned = List.filter (fun p -> Atomic.get p.alive) ps in
     ignore (Atomic.compare_and_set t.participants ps pruned)
   end;
-  if !all_clear then
-    ignore (Atomic.compare_and_set t.global_epoch epoch (epoch + 1))
+  if !all_clear && Atomic.compare_and_set t.global_epoch epoch (epoch + 1)
+  then
+    (* b = 1 marks a forced advance, i.e. laggards were neutralized. *)
+    Trace.emit Trace.Epoch_advance (-1) (epoch + 1) (if force then 1 else 0)
 
 let rec adopt_orphans t =
   let cur = Atomic.get t.orphans in
@@ -146,6 +149,7 @@ let collect h =
   Stats.on_heavy_fence t.stats;
   Slots.scan_snapshot t.registry h.scan;
   List.iter (Retire_bag.push h.bag) (adopt_orphans t);
+  let before = Retire_bag.length h.bag in
   Retire_bag.filter_in_place
     (fun (e, hdr) ->
       if e + 2 <= epoch && not (Slots.scan_mem h.scan (Mem.uid hdr)) then begin
@@ -154,7 +158,11 @@ let collect h =
         false
       end
       else true)
-    h.bag
+    h.bag;
+  if Trace.enabled () then
+    Trace.emit Trace.Reclaim_pass (-1)
+      (before - Retire_bag.length h.bag)
+      (Slots.scan_size h.scan)
 
 let retire h hdr =
   Mem.retire_mark hdr;

@@ -90,11 +90,17 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
+  (* Span events are stamped with the op's own start time ([emit_at]), not
+     the tracer clock, so the Perfetto track shows true latency; a = op
+     index, b = duration in ns. *)
   let timed s op f =
     let t0 = now_ns () in
     let r = f () in
-    Histogram.record s.lat.(St.op_index op) (now_ns () - t0);
+    let dt = now_ns () - t0 in
+    Histogram.record s.lat.(St.op_index op) dt;
     s.ops <- s.ops + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.emit_at ~ts:t0 Obs.Trace.Span (-1) (St.op_index op) dt;
     r
 
   let get t key =

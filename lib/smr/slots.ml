@@ -74,8 +74,27 @@ let acquire local =
       local.owned <- local.owned + 1;
       chunk.slots.(0)
 
-let set slot hdr = Atomic.set slot (Some hdr)
-let clear slot = Atomic.set slot None
+module Trace = Obs.Trace
+
+(* The Unprotect event must be emitted BEFORE the store that withdraws the
+   protection: any reclaimer that observes the withdrawal (and may then
+   free) draws its Free sequence number after ours, so the trace-replay
+   checker never sees a Free inside a protection window of a correct run
+   (see Obs.Trace on emission-order discipline). *)
+let trace_unprotect slot =
+  if Trace.enabled () then
+    match Atomic.get slot with
+    | Some prev -> Trace.emit Trace.Unprotect (Mem.uid prev) 0 0
+    | None -> ()
+
+let set slot hdr =
+  trace_unprotect slot;
+  Atomic.set slot (Some hdr)
+
+let clear slot =
+  trace_unprotect slot;
+  Atomic.set slot None
+
 let get slot = Atomic.get slot
 
 let release local slot =
@@ -91,7 +110,7 @@ let rec park_chunk registry chunk =
 let unregister local =
   List.iter
     (fun chunk ->
-      Array.iter (fun s -> Atomic.set s None) chunk.slots;
+      Array.iter clear chunk.slots;
       Atomic.set chunk.active false;
       park_chunk local.registry chunk)
     local.my_chunks;

@@ -32,13 +32,19 @@ let fresh_uid () =
   c.next <- uid + 1;
   uid
 
+module Trace = Obs.Trace
+
 let make stats =
   Stats.on_alloc stats;
-  {
-    uid = fresh_uid ();
-    state = Atomic.make state_live;
-    refcount = Atomic.make 1;
-  }
+  let h =
+    {
+      uid = fresh_uid ();
+      state = Atomic.make state_live;
+      refcount = Atomic.make 1;
+    }
+  in
+  if Trace.enabled () then Trace.emit Trace.Alloc h.uid 0 0;
+  h
 
 (* A shared placeholder header: array filler for retire batches. Never
    retired, freed or dereferenced; uid -1 collides with no real block. *)
@@ -54,16 +60,19 @@ let is_freed h = Atomic.get h.state = state_freed
 
 let retire_mark h =
   if not (Atomic.compare_and_set h.state state_live state_retired) then
-    raise (Double_retire h.uid)
+    raise (Double_retire h.uid);
+  if Trace.enabled () then Trace.emit Trace.Retire h.uid 0 0
 
 let free_mark h =
   if not (Atomic.compare_and_set h.state state_retired state_freed) then
-    raise (Invalid_free h.uid)
+    raise (Invalid_free h.uid);
+  if Trace.enabled () then Trace.emit Trace.Free h.uid 0 0
 
 let free_mark_cascade h =
   let s = Atomic.get h.state in
   if s = state_freed || not (Atomic.compare_and_set h.state s state_freed)
-  then raise (Invalid_free h.uid)
+  then raise (Invalid_free h.uid);
+  if Trace.enabled () then Trace.emit Trace.Free h.uid 1 0
 
 let check_access h =
   if Atomic.get enabled && Atomic.get h.state = state_freed then

@@ -47,6 +47,9 @@ let sample_result : Bench_types.result =
     peak_live = 99;
     heavy_fences = 7;
     protection_failures = 3;
+    allocated = 5000;
+    freed = 4000;
+    retired_total = 4100;
   }
 
 let test_metric_of_name_known () =
@@ -58,6 +61,9 @@ let test_metric_of_name_known () =
       ("peak-live", 99.0);
       ("heavy-fences", 7.0);
       ("protection-failures", 3.0);
+      ("allocated", 5000.0);
+      ("freed", 4000.0);
+      ("retired-total", 4100.0);
     ]
   in
   List.iter

@@ -1,0 +1,319 @@
+(* Tests for the lib/obs tracer, exporters and trace-replay checker:
+   ring-buffer semantics, the zero-cost disabled path, hand-built traces
+   that must be rejected with precise diagnostics, and real traces from
+   short runs of all four schemes that must pass clean. *)
+
+module Trace = Obs.Trace
+module Check = Obs.Check
+module Tagged = Smr_core.Tagged
+module Pool = Smr_core.Domain_pool
+module Rng = Smr_core.Rng
+
+let cleanup () =
+  Trace.disable ();
+  Trace.reset ()
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- tracer -------------------------------------------------------------- *)
+
+let test_wraparound () =
+  Trace.enable ~capacity:16 ();
+  for i = 0 to 49 do
+    Trace.emit Trace.Alloc i 0 0
+  done;
+  Trace.disable ();
+  let snap = Trace.snapshot () in
+  cleanup ();
+  Alcotest.(check int) "kept" 16 (Array.length snap.Trace.events);
+  Alcotest.(check int) "dropped" 34 snap.Trace.dropped;
+  (* the newest events survive, in order *)
+  Array.iteri
+    (fun j (e : Trace.event) ->
+      Alcotest.(check int) "uid" (34 + j) e.Trace.uid)
+    snap.Trace.events;
+  Alcotest.(check int) "horizon = oldest kept seq" 34 snap.Trace.complete_from
+
+let test_multi_domain_merge () =
+  let per_domain = 1000 and domains = 4 in
+  Trace.enable ~capacity:4096 ();
+  let ds =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Trace.emit Trace.Retire ((d * per_domain) + i) d 0
+            done))
+  in
+  Array.iter Domain.join ds;
+  Trace.disable ();
+  let snap = Trace.snapshot () in
+  cleanup ();
+  Alcotest.(check int) "all events kept" (domains * per_domain)
+    (Array.length snap.Trace.events);
+  Alcotest.(check int) "nothing dropped" 0 snap.Trace.dropped;
+  (* seq is a total order: strictly increasing and gap-free after merge *)
+  Array.iteri
+    (fun j (e : Trace.event) -> Alcotest.(check int) "seq" j e.Trace.seq)
+    snap.Trace.events
+
+let test_disabled_records_nothing_allocates_nothing () =
+  cleanup ();
+  for i = 0 to 99 do
+    Trace.emit Trace.Retire i 0 0
+  done;
+  Alcotest.(check int) "nothing recorded" 0
+    (Array.length (Trace.snapshot ()).Trace.events);
+  let w0 = Gc.minor_words () in
+  for i = 0 to 99_999 do
+    Trace.emit Trace.Retire i 0 0
+  done;
+  let w1 = Gc.minor_words () in
+  (* budget far below one word per emit: a boxing bug would cost >= 100k *)
+  Alcotest.(check bool) "no allocation on disabled emit" true (w1 -. w0 < 256.)
+
+let test_raw_roundtrip () =
+  Trace.enable ~capacity:16 ();
+  for i = 0 to 49 do
+    Trace.emit Trace.Step i (i + 1) 2
+  done;
+  Trace.disable ();
+  let snap = Trace.snapshot () in
+  cleanup ();
+  let path = Filename.temp_file "obs_trace" ".raw" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Trace.write_raw oc snap;
+      close_out oc;
+      let ic = open_in path in
+      let back = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Trace.read_raw ic) in
+      Alcotest.(check int) "dropped" snap.Trace.dropped back.Trace.dropped;
+      Alcotest.(check int) "horizon" snap.Trace.complete_from
+        back.Trace.complete_from;
+      Alcotest.(check bool) "events round-trip" true
+        (snap.Trace.events = back.Trace.events))
+
+(* --- checker on hand-built traces ---------------------------------------- *)
+
+let ev seq kind ~dom ~uid ?(a = 0) ?(b = 0) () : Trace.event =
+  { Trace.seq; ts = seq; dom; kind; uid; a; b }
+
+let expect_violation name rule ~uid events k =
+  match Check.run events with
+  | Ok _ -> Alcotest.failf "%s: expected a %s violation, trace passed" name rule
+  | Error (v :: _ as vs) ->
+      Alcotest.(check string) (name ^ " rule") rule v.Check.v_rule;
+      Alcotest.(check int) (name ^ " uid") uid v.Check.v_uid;
+      k vs
+  | Error [] -> assert false
+
+let test_reject_free_before_invalidate () =
+  (* uids 1 and 2 unlinked as one batch; only 1 is invalidated before 1 is
+     freed, so the whole-batch rule must name the missing member (2). *)
+  let events =
+    [|
+      ev 0 Trace.Alloc ~dom:0 ~uid:1 ();
+      ev 1 Trace.Alloc ~dom:0 ~uid:2 ();
+      ev 2 Trace.Unlink ~dom:0 ~uid:1 ~a:7 ();
+      ev 3 Trace.Unlink ~dom:0 ~uid:2 ~a:7 ();
+      ev 4 Trace.Invalidate ~dom:0 ~uid:1 ~a:7 ();
+      ev 5 Trace.Free ~dom:0 ~uid:1 ();
+    |]
+  in
+  expect_violation "free-before-invalidate" "invalidate-before-free" ~uid:1
+    events (fun (v :: _) ->
+      Alcotest.(check bool) "diagnostic names the missing member" true
+        (contains v.Check.v_detail "missing: 2");
+      Alcotest.(check int) "at the Free" 5 v.Check.v_seq)
+  [@warning "-8"]
+
+let test_reject_free_in_protect_window () =
+  (* dom 1 holds a validated protection on uid 1 when dom 0 frees it *)
+  let events =
+    [|
+      ev 0 Trace.Alloc ~dom:0 ~uid:1 ();
+      ev 1 Trace.Protect ~dom:1 ~uid:1 ();
+      ev 2 Trace.Retire ~dom:0 ~uid:1 ();
+      ev 3 Trace.Free ~dom:0 ~uid:1 ();
+      ev 4 Trace.Unprotect ~dom:1 ~uid:1 ();
+    |]
+  in
+  expect_violation "protect-window" "protect-window" ~uid:1 events
+    (fun (v :: _) ->
+      Alcotest.(check bool) "diagnostic names the protecting domain" true
+        (contains v.Check.v_detail "dom 1");
+      Alcotest.(check int) "at the Free" 3 v.Check.v_seq)
+  [@warning "-8"]
+
+let test_clean_trace_passes () =
+  let events =
+    [|
+      ev 0 Trace.Alloc ~dom:0 ~uid:1 ();
+      ev 1 Trace.Protect ~dom:1 ~uid:1 ();
+      ev 2 Trace.Retire ~dom:0 ~uid:1 ();
+      ev 3 Trace.Unprotect ~dom:1 ~uid:1 ();
+      ev 4 Trace.Free ~dom:0 ~uid:1 ();
+    |]
+  in
+  match Check.run events with
+  | Ok s ->
+      Alcotest.(check int) "allocs" 1 s.Check.allocs;
+      Alcotest.(check int) "frees" 1 s.Check.frees;
+      Alcotest.(check int) "protects" 1 s.Check.protects
+  | Error (v :: _) ->
+      Alcotest.failf "clean trace rejected: %s" v.Check.v_detail
+  | Error [] -> assert false
+
+let test_step_tag_bits_pin_tagged () =
+  (* the checker's notion of the invalid bit must be Tagged's *)
+  let step b = [| ev 0 Trace.Step ~dom:0 ~uid:1 ~a:2 ~b () |] in
+  (match Check.run (step Tagged.invalid_bit) with
+  | Ok _ -> Alcotest.fail "step over the invalid bit passed"
+  | Error (v :: _) ->
+      Alcotest.(check string) "rule" "step-from-invalidated" v.Check.v_rule
+  | Error [] -> assert false);
+  match Check.run (step Tagged.deleted_bit) with
+  | Ok _ -> () (* deletion tags are fine to traverse *)
+  | Error (v :: _) -> Alcotest.failf "deleted-tag step rejected: %s" v.Check.v_detail
+  | Error [] -> assert false
+
+let test_horizon_suppresses_incomplete () =
+  (* same protect-window shape, but everything before the Free is below the
+     horizon: state still replays (no lifecycle noise), nothing flags *)
+  let events =
+    [|
+      ev 0 Trace.Alloc ~dom:0 ~uid:1 ();
+      ev 1 Trace.Protect ~dom:1 ~uid:1 ();
+      ev 2 Trace.Retire ~dom:0 ~uid:1 ();
+      ev 3 Trace.Free ~dom:0 ~uid:1 ();
+    |]
+  in
+  match Check.run ~complete_from:4 events with
+  | Ok s -> Alcotest.(check int) "state-only events" 4 s.Check.below_horizon
+  | Error (v :: _) ->
+      Alcotest.failf "below-horizon event flagged: %s" v.Check.v_detail
+  | Error [] -> assert false
+
+(* --- real traces from the actual schemes --------------------------------- *)
+
+module Churn
+    (S : Smr.Smr_intf.S) (L : sig
+      type 'v t
+      type local
+
+      val create : S.t -> 'v t
+      val make_local : S.handle -> local
+      val clear_local : local -> unit
+      val get : 'v t -> local -> int -> 'v option
+      val insert : 'v t -> local -> int -> 'v -> bool
+      val remove : 'v t -> local -> int -> bool
+    end) =
+struct
+  let run () =
+    let scheme = S.create () in
+    let t = L.create scheme in
+    ignore
+      (Pool.run_timed ~n:2 ~duration:0.12 (fun i ~stop ->
+           let h = S.register scheme in
+           let lo = L.make_local h in
+           let rng = Rng.create ~seed:(31 + i) in
+           while not (stop ()) do
+             let key = Rng.below rng 48 in
+             match Rng.below rng 4 with
+             | 0 | 1 -> ignore (L.get t lo key)
+             | 2 -> ignore (L.insert t lo key key)
+             | _ -> ignore (L.remove t lo key)
+           done;
+           L.clear_local lo;
+           S.unregister h))
+end
+
+let check_clean name run =
+  Trace.enable ~capacity:(1 lsl 16) ();
+  run ();
+  Trace.disable ();
+  let snap = Trace.snapshot () in
+  cleanup ();
+  match Check.run_snapshot snap with
+  | Ok s ->
+      Alcotest.(check bool) (name ^ ": trace non-empty") true (s.Check.events > 0);
+      s
+  | Error (v :: rest) ->
+      Alcotest.failf "%s: %s (+%d more)" name
+        (Format.asprintf "%a" Check.pp_violation v)
+        (List.length rest)
+  | Error [] -> assert false
+
+let test_real_trace_hp () =
+  let module M = Churn (Hp) (Smr_ds.Hmlist.Make (Hp)) in
+  let s = check_clean "hmlist/HP" M.run in
+  Alcotest.(check bool) "saw protections" true (s.Check.protects > 0)
+
+let test_real_trace_hpp () =
+  let module M = Churn (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus)) in
+  let s = check_clean "hhslist/HP++" M.run in
+  Alcotest.(check bool) "saw unlink batches" true (s.Check.unlink_batches > 0)
+
+let test_real_trace_ebr () =
+  let module M = Churn (Ebr) (Smr_ds.Hhslist.Make (Ebr)) in
+  ignore (check_clean "hhslist/EBR" M.run)
+
+let test_real_trace_pebr () =
+  let module M = Churn (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
+  let s = check_clean "hhslist/PEBR" M.run in
+  Alcotest.(check bool) "saw steps" true (s.Check.steps > 0)
+
+let test_real_trace_shardkv () =
+  let module KV = Service.Shardkv.Make (Hp_plus) in
+  let s =
+    check_clean "shardkv/HP++" (fun () ->
+        let kv = KV.create ~shards:2 () in
+        for k = 0 to 400 do
+          ignore (KV.put kv k k);
+          ignore (KV.get kv k);
+          if k mod 3 = 0 then ignore (KV.delete kv k)
+        done;
+        KV.detach kv)
+  in
+  Alcotest.(check bool) "saw op spans" true (s.Check.spans > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "ring wraparound keeps newest" `Quick
+            test_wraparound;
+          Alcotest.test_case "multi-domain merge totally ordered" `Quick
+            test_multi_domain_merge;
+          Alcotest.test_case "disabled: no events, no allocation" `Quick
+            test_disabled_records_nothing_allocates_nothing;
+          Alcotest.test_case "raw artifact round-trip" `Quick
+            test_raw_roundtrip;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "rejects free before batch invalidation" `Quick
+            test_reject_free_before_invalidate;
+          Alcotest.test_case "rejects free inside protection window" `Quick
+            test_reject_free_in_protect_window;
+          Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
+          Alcotest.test_case "step tag bits pinned to Tagged" `Quick
+            test_step_tag_bits_pin_tagged;
+          Alcotest.test_case "wraparound horizon suppresses incomplete" `Quick
+            test_horizon_suppresses_incomplete;
+        ] );
+      ( "real-traces",
+        [
+          Alcotest.test_case "hmlist/HP clean" `Quick test_real_trace_hp;
+          Alcotest.test_case "hhslist/HP++ clean" `Quick test_real_trace_hpp;
+          Alcotest.test_case "hhslist/EBR clean" `Quick test_real_trace_ebr;
+          Alcotest.test_case "hhslist/PEBR clean" `Quick test_real_trace_pebr;
+          Alcotest.test_case "shardkv spans clean" `Quick
+            test_real_trace_shardkv;
+        ] );
+    ]
