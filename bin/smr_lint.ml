@@ -1,0 +1,53 @@
+(* smr_lint: static SMR-discipline analyzer for the tree.
+
+   Usage: smr_lint [--json] [--show-suppressed] PATH...
+   Exits 1 when any unsuppressed finding remains, 0 otherwise. *)
+
+let usage = "smr_lint [--json] [--show-suppressed] PATH..."
+
+let () =
+  let json = ref false in
+  let show_suppressed = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array on stdout");
+      ( "--show-suppressed",
+        Arg.Set show_suppressed,
+        " also list pragma-suppressed findings (human mode)" );
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let report = Analysis.Engine.run paths in
+  if !json then begin
+    let items = List.map Analysis.Finding.to_json report.findings in
+    print_string "[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string item)
+      items;
+    if items <> [] then print_string "\n";
+    print_string "]\n"
+  end
+  else begin
+    List.iter
+      (fun f -> print_endline (Analysis.Finding.to_human f))
+      report.findings;
+    if !show_suppressed then
+      List.iter
+        (fun (f, reason) ->
+          Printf.printf "%s  [suppressed: %s]\n"
+            (Analysis.Finding.to_human f)
+            reason)
+        report.suppressed
+  end;
+  Printf.eprintf "smr_lint: %d file%s, %d finding%s, %d suppressed\n"
+    report.files
+    (if report.files = 1 then "" else "s")
+    (List.length report.findings)
+    (if List.length report.findings = 1 then "" else "s")
+    (List.length report.suppressed);
+  if report.findings <> [] then exit 1

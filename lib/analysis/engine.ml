@@ -1,0 +1,151 @@
+(* Rule dispatch by path scope, pragma suppression, and aggregation. *)
+
+(* A scope is a sequence of adjacent path components; ["lib"; "ds"] matches
+   any file living under a .../lib/ds/... directory, wherever the tree was
+   copied (so CI can lint a scratch copy under /tmp). *)
+let path_components path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+let rec has_prefix prefix comps =
+  match (prefix, comps) with
+  | [], _ -> true
+  | _, [] -> false
+  | p :: ps, c :: cs -> p = c && has_prefix ps cs
+
+let rec in_scope scope comps =
+  has_prefix scope comps
+  || match comps with [] -> false | _ :: rest -> in_scope scope rest
+
+let under path scopes =
+  let comps = path_components path in
+  List.exists (fun s -> in_scope s comps) scopes
+
+let ds_scope = [ [ "lib"; "ds" ] ]
+
+let scheme_scope =
+  [
+    [ "lib"; "core" ]; [ "lib"; "hp" ]; [ "lib"; "ebr" ]; [ "lib"; "pebr" ];
+    [ "lib"; "rc" ]; [ "lib"; "nr" ]; [ "lib"; "smr" ];
+  ]
+
+let shared_state_scope =
+  [
+    [ "lib"; "smr" ]; [ "lib"; "smr_core" ]; [ "lib"; "core" ];
+    [ "lib"; "ebr" ]; [ "lib"; "pebr" ]; [ "lib"; "hp" ];
+  ]
+
+let lib_scope = [ [ "lib" ] ]
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : (Finding.t * string) list;  (** finding, pragma reason *)
+  files : int;
+}
+
+let raw_findings ~path ~mli_exists (src : Source.t) =
+  match src.ast with
+  | None ->
+      let line, msg = Option.value src.parse_failure ~default:(1, "parse error") in
+      [ Finding.make Finding.parse_error ~file:path ~line msg ]
+  | Some ast ->
+      List.concat
+        [
+          (if under path ds_scope then Rules.r1_check ~file:path ast else []);
+          (if under path scheme_scope then Rules.r2_check ~file:path ast else []);
+          (if under path shared_state_scope then Rules.r3_check ~file:path ast
+           else []);
+          (if under path lib_scope then Rules.r4_check ~file:path ast else []);
+          (if under path lib_scope then Rules.r5_check ~file:path ~mli_exists ()
+           else []);
+        ]
+
+(* A pragma suppresses a finding when the rule matches and — for line-scope
+   rules — the pragma sits on the finding's line or the line above. Pragmas
+   that suppress nothing are themselves findings (P1), as are unparsable
+   ones (P2): stale or sloppy suppressions fail the build too. *)
+let apply_pragmas (src : Source.t) findings =
+  let kept, suppressed =
+    List.partition_map
+      (fun (f : Finding.t) ->
+        if not f.rule.suppressible then Left f
+        else
+          let matching =
+            List.find_opt
+              (fun (p : Source.pragma) ->
+                List.exists (Finding.rule_matches f.rule) p.p_rules
+                && (f.rule.file_scope
+                   || p.p_line = f.line
+                   || p.p_line = f.line - 1))
+              src.pragmas
+          in
+          match matching with
+          | Some p ->
+              p.p_used <- true;
+              Right (f, p.p_reason)
+          | None -> Left f)
+      findings
+  in
+  let unused =
+    List.filter_map
+      (fun (p : Source.pragma) ->
+        if p.p_used then None
+        else
+          Some
+            (Finding.make Finding.unused_pragma ~file:src.path ~line:p.p_line
+               (Printf.sprintf
+                  "pragma allows [%s] but no such finding exists here: \
+                   remove it (stale suppressions hide regressions)"
+                  (String.concat ", " p.p_rules))))
+      src.pragmas
+  in
+  let bad =
+    List.map
+      (fun line ->
+        Finding.make Finding.bad_pragma ~file:src.path ~line
+          "pragma must be a comment whose payload is `smr-lint: allow \
+           <rule>[, <rule>] — <reason>` with a non-empty reason")
+      src.bad_pragmas
+  in
+  (kept @ unused @ bad, suppressed)
+
+let analyze_source ?(mli_exists = false) ~path text =
+  let src = Source.of_string ~path text in
+  let findings = raw_findings ~path ~mli_exists src in
+  apply_pragmas src findings
+
+let analyze_file path =
+  let src = Source.load path in
+  let mli_exists =
+    Filename.check_suffix path ".ml"
+    && Sys.file_exists (Filename.remove_extension path ^ ".mli")
+  in
+  let findings = raw_findings ~path ~mli_exists src in
+  apply_pragmas src findings
+
+let rec ml_files_under path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+           else ml_files_under (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run paths =
+  let files =
+    List.concat_map (fun p -> List.rev (ml_files_under p [])) paths
+  in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, ss) file ->
+        let f, s = analyze_file file in
+        (f @ fs, s @ ss))
+      ([], []) files
+  in
+  {
+    findings = List.sort Finding.compare findings;
+    suppressed = List.sort (fun (a, _) (b, _) -> Finding.compare a b) suppressed;
+    files = List.length files;
+  }

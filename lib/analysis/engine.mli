@@ -1,0 +1,28 @@
+(** Rule dispatch by path scope, pragma suppression, aggregation.
+
+    Scopes are matched on path {e components}, so the tree can be linted in
+    place or from a scratch copy (CI's seeded-violation check): any file
+    under a [.../lib/ds/...] directory gets the data-structure rules, scheme
+    directories get the ordering rules, everything under [lib] gets the
+    trace-budget and missing-mli rules. *)
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed, sorted by file/line *)
+  suppressed : (Finding.t * string) list;  (** finding, pragma reason *)
+  files : int;
+}
+
+val analyze_source :
+  ?mli_exists:bool ->
+  path:string ->
+  string ->
+  Finding.t list * (Finding.t * string) list
+(** Analyze one compilation unit given as a string; [path] selects rule
+    scopes, [mli_exists] (default [false]) feeds the missing-mli rule.
+    Returns (unsuppressed findings, suppressed findings with reasons). *)
+
+val analyze_file : string -> Finding.t list * (Finding.t * string) list
+
+val run : string list -> report
+(** Analyze every [.ml] file under the given files/directories (skipping
+    [_build] and dot-directories). *)

@@ -1,0 +1,134 @@
+(* Rule metadata and findings. Rules are identified both by a short id
+   ("R1") and a slug ("raw-link-deref"); pragmas may use either. A
+   [file_scope] rule is about the file as a whole (suppressible by a pragma
+   anywhere in it); the others anchor to a line and are suppressible only by
+   a pragma on that line or the line above. *)
+
+type rule = {
+  id : string;
+  slug : string;
+  file_scope : bool;
+  suppressible : bool;
+  summary : string;
+}
+
+let r1 =
+  {
+    id = "R1";
+    slug = "raw-link-deref";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "node fields dereferenced after a raw Link.get/Atomic.get without a \
+       validated protection";
+  }
+
+let r2 =
+  {
+    id = "R2";
+    slug = "invalidate-before-free";
+    file_scope = false;
+    suppressible = true;
+    summary = "a free/reclaim call precedes batch invalidation";
+  }
+
+let r3 =
+  {
+    id = "R3";
+    slug = "shared-mutable-field";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "plain mutable field in a record shared across domains (OCaml \
+       memory-model data race)";
+  }
+
+let r4 =
+  {
+    id = "R4";
+    slug = "unguarded-trace-alloc";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "Trace.emit argument may allocate outside an `if Trace.enabled ()` \
+       guard";
+  }
+
+let r5 =
+  {
+    id = "R5";
+    slug = "missing-mli";
+    file_scope = true;
+    suppressible = true;
+    summary = "module has no .mli and exports everything";
+  }
+
+let unused_pragma =
+  {
+    id = "P1";
+    slug = "unused-pragma";
+    file_scope = false;
+    suppressible = false;
+    summary = "suppression pragma matched no finding";
+  }
+
+let bad_pragma =
+  {
+    id = "P2";
+    slug = "malformed-pragma";
+    file_scope = false;
+    suppressible = false;
+    summary = "smr-lint pragma without a parsable rule list and reason";
+  }
+
+let parse_error =
+  {
+    id = "E0";
+    slug = "parse-error";
+    file_scope = false;
+    suppressible = false;
+    summary = "source file failed to parse";
+  }
+
+let all_rules = [ r1; r2; r3; r4; r5; unused_pragma; bad_pragma; parse_error ]
+
+let rule_matches rule token =
+  let t = String.lowercase_ascii token in
+  t = String.lowercase_ascii rule.id || t = rule.slug
+
+type t = { rule : rule; file : string; line : int; message : string }
+
+let make rule ~file ~line message = { rule; file; line; message }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule.id b.rule.id
+      | c -> c)
+  | c -> c
+
+let to_human f =
+  Printf.sprintf "%s:%d: [%s %s] %s" f.file f.line f.rule.id f.rule.slug
+    f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"slug\":\"%s\",\"file\":\"%s\",\"line\":%d,\
+     \"message\":\"%s\"}"
+    f.rule.id f.rule.slug (json_escape f.file) f.line (json_escape f.message)

@@ -1,0 +1,40 @@
+(** Lint rules and findings. *)
+
+type rule = {
+  id : string;  (** short id, e.g. ["R1"] *)
+  slug : string;  (** kebab-case name, e.g. ["raw-link-deref"] *)
+  file_scope : bool;
+      (** file-granularity rule: suppressible by a pragma anywhere in the
+          file (line rules need the pragma on the finding's line or the line
+          above) *)
+  suppressible : bool;  (** pragma-suppressible at all *)
+  summary : string;
+}
+
+val r1 : rule  (** raw-link-deref *)
+
+val r2 : rule  (** invalidate-before-free *)
+
+val r3 : rule  (** shared-mutable-field *)
+
+val r4 : rule  (** unguarded-trace-alloc *)
+
+val r5 : rule  (** missing-mli *)
+
+val unused_pragma : rule  (** P1: a pragma that suppressed nothing *)
+
+val bad_pragma : rule  (** P2: an unparsable smr-lint pragma *)
+
+val parse_error : rule  (** E0: the file failed to parse *)
+
+val all_rules : rule list
+
+val rule_matches : rule -> string -> bool
+(** Does a pragma token (id or slug, case-insensitive) name this rule? *)
+
+type t = { rule : rule; file : string; line : int; message : string }
+
+val make : rule -> file:string -> line:int -> string -> t
+val compare : t -> t -> int
+val to_human : t -> string
+val to_json : t -> string

@@ -1,0 +1,30 @@
+(** The SMR-discipline rule set: cheap syntactic under-approximations of the
+    protect/retire/free obligations (DESIGN.md §10). Each check takes a
+    parsed structure and returns findings; scope selection (which rule runs
+    on which directory) lives in {!Engine}. *)
+
+val r1_check : file:string -> Parsetree.structure -> Finding.t list
+(** Raw-link-deref: a top-level function in [lib/ds] that raw-reads a link
+    ([Link.get]/[Atomic.get]) and dereferences record fields without a
+    (transitive, module-local) call to [try_protect] /
+    [protect_pessimistic] / [protect]. *)
+
+val r2_check : file:string -> Parsetree.structure -> Finding.t list
+(** Invalidate-before-free: in scheme code, a free-family call
+    ([free_mark], [free_mark_cascade], [reclaim], [collect]) that
+    syntactically precedes an invalidation-family call ([do_invalidation],
+    [invalidate_all], [invalidate], [mark_invalid]) within one top-level
+    function. *)
+
+val r3_check : file:string -> Parsetree.structure -> Finding.t list
+(** Shared-mutable-field: plain [mutable] record fields in types shared
+    across domains — types that directly hold [Atomic.t] state or are
+    reachable from one through field types. *)
+
+val r4_check : file:string -> Parsetree.structure -> Finding.t list
+(** Unguarded-trace-alloc: a [Trace.emit]/[Trace.emit_at] call site outside
+    an [if Trace.enabled ()] guard whose arguments are not syntactically
+    non-allocating. *)
+
+val r5_check : file:string -> mli_exists:bool -> unit -> Finding.t list
+(** Missing-mli. *)

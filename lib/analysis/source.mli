@@ -1,0 +1,24 @@
+(** Source loading: parse a file with the compiler's own parser (syntax
+    only — no typing, no ppx) and scan for suppression pragmas of the form
+
+    {[ (* smr-lint: allow <rule>[, <rule>...] — <reason> *) ]}
+
+    A pragma must carry a non-empty reason after an em dash or ["--"]. *)
+
+type pragma = {
+  p_line : int;
+  p_rules : string list;  (** rule ids or slugs, verbatim *)
+  p_reason : string;
+  mutable p_used : bool;  (** set by the engine when it suppresses *)
+}
+
+type t = {
+  path : string;
+  ast : Parsetree.structure option;  (** [None] when the file failed to parse *)
+  parse_failure : (int * string) option;  (** line, message *)
+  pragmas : pragma list;
+  bad_pragmas : int list;  (** lines carrying an unparsable smr-lint pragma *)
+}
+
+val of_string : path:string -> string -> t
+val load : string -> t

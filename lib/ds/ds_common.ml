@@ -22,13 +22,16 @@ module Make (S : Smr.Smr_intf.S) = struct
      an invalidated link would record the invalid bit here, which is exactly
      what the trace-replay checker flags. *)
   let trace_step ~node_header ~src ~validated l =
-    let dst = Tagged.ptr l in
-    (match dst with
-    | Some n when validated -> Trace.emit Trace.Protect (Mem.uid (node_header n)) 0 0
-    | _ -> ());
-    Trace.emit Trace.Step (uid_of_hdr src)
-      (match dst with Some n -> Mem.uid (node_header n) | None -> -1)
-      (Tagged.tag l)
+    if Trace.enabled () then begin
+      let dst = Tagged.ptr l in
+      (match dst with
+      | Some n when validated ->
+          Trace.emit Trace.Protect (Mem.uid (node_header n)) 0 0
+      | _ -> ());
+      Trace.emit Trace.Step (uid_of_hdr src)
+        (match dst with Some n -> Mem.uid (node_header n) | None -> -1)
+        (Tagged.tag l)
+    end
 
   (* Under-approximating validation: protection only fails when [src_link]
      carries the invalidation bit; logical-deletion tags are ignored, so

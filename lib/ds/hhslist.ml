@@ -94,6 +94,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       if is_until n then List.rev acc
       else
         let acc = n :: acc in
+        (* smr-lint: allow R1 — runs inside do_unlink on the just-unlinked chain: every node is marked so links are frozen, and the frontier anchor is protected by try_unlink *)
         match Tagged.ptr (Link.get n.next) with
         | Some m -> walk m acc
         | None -> List.rev acc
@@ -282,6 +283,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> List.rev acc
       | Some n ->
+          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           let next_t = Link.get n.next in
           let acc =
             if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
@@ -297,6 +299,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> ()
       | Some n ->
+          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
           walk (Link.get n.next)
     in

@@ -157,6 +157,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> List.rev acc
       | Some n ->
+          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           let next_t = Link.get n.next in
           let acc =
             if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
@@ -174,6 +175,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> ()
       | Some n ->
+          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
           walk (Link.get n.next)
     in

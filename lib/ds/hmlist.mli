@@ -1,0 +1,78 @@
+(** Harris-Michael list: unlinks marked nodes during traversal, one node per TryUnlink batch.
+
+    Signature inferred from the implementation; the full surface stays
+    exported because the harness, tests and sibling modules consume the
+    node representations directly. *)
+
+module Mem = Smr_core.Mem
+module Tagged = Smr_core.Tagged
+module Link = Smr_core.Link
+module Stats = Smr_core.Stats
+module Make :
+  functor (S : Smr.Smr_intf.S) ->
+    sig
+      module C :
+        sig
+          type 'n protect_outcome =
+            'n Ds_common.Make(S).protect_outcome =
+              Ok of 'n Ds_common.Tagged.t
+            | Invalid
+          val uid_of_hdr : Ds_common.Mem.header option -> int
+          val trace_step :
+            node_header:('a -> Ds_common.Mem.header) ->
+            src:Ds_common.Mem.header option ->
+            validated:bool -> 'a Ds_common.Tagged.t -> unit
+          val try_protect :
+            ?src:Ds_common.Mem.header ->
+            node_header:('a -> Ds_common.Mem.header) ->
+            S.guard ->
+            S.handle ->
+            src_link:'a Ds_common.Link.t ->
+            'a Ds_common.Tagged.t -> 'a protect_outcome
+          val protect_pessimistic :
+            ?src:Ds_common.Mem.header ->
+            node_header:('a -> Ds_common.Mem.header) ->
+            S.guard ->
+            S.handle ->
+            src_link:'a Ds_common.Link.t ->
+            'a Ds_common.Tagged.t -> bool
+          val with_crit :
+            S.handle ->
+            Smr_core.Stats.t ->
+            (unit -> [< `Done of 'a | `Prot | `Retry ]) -> 'a
+        end
+      type 'v node = {
+        hdr : Mem.header;
+        key : int;
+        value : 'v;
+        next : 'v node Link.t;
+      }
+      val node_header : 'a node -> Mem.header
+      type 'v t = { scheme : S.t; head : 'v node Link.t; }
+      type local = {
+        handle : S.handle;
+        mutable hp_prev : S.guard;
+        mutable hp_cur : S.guard;
+      }
+      val create : S.t -> 'a t
+      val scheme : 'a t -> S.t
+      val stats : 'a t -> Smr_core.Stats.t
+      val make_local : S.handle -> local
+      val clear_local : local -> unit
+      val swap_guards : local -> unit
+      val find_attempt :
+        'a t ->
+        local ->
+        int ->
+        [> `Done of
+             bool * 'a node Ds_common.Link.t * 'a node Tagged.t *
+             'a node option
+         | `Prot
+         | `Retry ]
+      val get : 'a t -> local -> int -> 'a option
+      val insert : 'a t -> local -> int -> 'a -> bool
+      val remove : 'a t -> local -> int -> bool
+      val to_list : 'a t -> (int * 'a) list
+      val size : 'a t -> int
+      val assert_reachable_not_freed : 'a t -> unit
+    end

@@ -115,6 +115,7 @@ module Make (S : Smr.Smr_intf.S) = struct
      on. *)
   let validated t ~pred ~cur f =
     Mutex.lock (pred_lock t pred);
+    (* smr-lint: allow R1 — pred and cur are locked before any deref; locked, unmarked nodes cannot be unlinked, hence never invalidated or freed (Heller validation) *)
     (match cur with Some c -> Mutex.lock c.lock | None -> ());
     let ok =
       (not (pred_marked pred))
@@ -211,6 +212,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> List.rev acc
       | Some n ->
           let acc =
+            (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
             if Atomic.get n.marked then acc else (n.key, n.value) :: acc
           in
           go acc (Link.get n.next)
@@ -224,6 +226,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> ()
       | Some n ->
+          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
           go (Link.get n.next)
     in

@@ -75,6 +75,7 @@ module Make (S : Smr.Smr_intf.S) = struct
   let to_list t =
     let rec walk acc = function
       | None -> List.rev acc
+      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       | Some n -> walk (n.value :: acc) n.next
     in
     walk [] (Tagged.ptr (Link.get t.top))

@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — internal benchmark-harness plumbing consumed only by bin/ and test/; the surface tracks the experiment set and changes too often for a separate interface to earn its keep *)
 (** Machine-readable benchmark output: every run that flows through
     {!Experiments} is also recorded here as a row, and [bench/main.exe
     --json FILE] serializes the accumulated rows so benchmark trajectories

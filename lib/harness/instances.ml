@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — internal benchmark-harness plumbing consumed only by bin/ and test/; the surface tracks the experiment set and changes too often for a separate interface to earn its keep *)
 (** The benchmark matrix: every data structure of the paper's evaluation
     instantiated with every applicable reclamation scheme. Invalid cells
     (HHSList/NMTree with HP, EFRBTree with RC) are exactly the paper's "not

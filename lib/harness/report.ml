@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — internal benchmark-harness plumbing consumed only by bin/ and test/; the surface tracks the experiment set and changes too often for a separate interface to earn its keep *)
 (** Plain-text table rendering for benchmark output. *)
 
 let hr width = print_endline (String.make width '-')

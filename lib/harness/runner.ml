@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — internal benchmark-harness plumbing consumed only by bin/ and test/; the surface tracks the experiment set and changes too often for a separate interface to earn its keep *)
 (** Generic timed workload runner: spawns worker domains plus one sampler
     domain that both times the run and samples the garbage backlog (the
     paper's peak/average unreclaimed-block metrics). *)

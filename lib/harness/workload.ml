@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — internal benchmark-harness plumbing consumed only by bin/ and test/; the surface tracks the experiment set and changes too often for a separate interface to earn its keep *)
 (** Workload mixes of the paper's evaluation (§5 Methodology). *)
 
 type t = {

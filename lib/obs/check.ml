@@ -61,6 +61,12 @@ type bstate = {
    dependency-free; test_obs pins the two together. *)
 let tagged_invalid_bit = 2
 
+(* Smr_core.Mem.phantom_uid, likewise restated (and pinned by test_obs).
+   The phantom is an array filler for retire bags; no event may ever carry
+   its uid — a phantom in a trace means a bag slot leaked into a retire,
+   free or protection path. Distinct from -1, the "no node" Step sentinel. *)
+let phantom_uid = -2
+
 let run ?(complete_from = 0) (events : Trace.event array) =
   let ustates : (int, ustate) Hashtbl.t = Hashtbl.create 4096 in
   let batches : (int * int, bstate) Hashtbl.t = Hashtbl.create 64 in
@@ -120,6 +126,13 @@ let run ?(complete_from = 0) (events : Trace.event array) =
          lifecycle rules about *missing* prior events are restricted to
          those, since a dropped prefix could hide the event. *)
       let fully_observed u = u.alloc_seq >= complete_from in
+      if e.uid = phantom_uid || (e.kind = Trace.Step && e.a = phantom_uid)
+      then
+        flag "phantom"
+          (Printf.sprintf
+             "%s event carries the phantom header uid %d: a retire-bag \
+              filler slot leaked into a real SMR path"
+             (Trace.kind_name e.kind) phantom_uid);
       match e.kind with
       | Trace.Alloc ->
           incr allocs;
@@ -276,11 +289,12 @@ let run ?(complete_from = 0) (events : Trace.event array) =
         }
   | vs ->
       let severity = function
-        | "protect-window" -> 0
-        | "step-from-freed" -> 1
-        | "invalidate-before-free" -> 2
-        | "step-from-invalidated" -> 3
-        | _ -> 4
+        | "phantom" -> 0
+        | "protect-window" -> 1
+        | "step-from-freed" -> 2
+        | "invalidate-before-free" -> 3
+        | "step-from-invalidated" -> 4
+        | _ -> 5
       in
       Error
         (List.sort

@@ -18,6 +18,9 @@
       no step from a node the stepping domain itself already invalidated.
     - [step-from-freed]: no traversal step out of an already-freed node —
       the temporal twin of the deterministic UAF detector.
+    - [phantom]: no event at all may carry {!phantom_uid}, the retire-bag
+      filler header; one in a trace means a bag slot leaked into a real
+      retire/free/protection path.
 
     Ring wraparound is tolerated: events below [complete_from] update
     replay state but never raise violations, since their context may have
@@ -42,6 +45,11 @@ type summary = {
   unlink_batches : int;
   below_horizon : int;  (** events before [complete_from], state-only *)
 }
+
+val phantom_uid : int
+(** [Smr_core.Mem.phantom_uid] restated ([-2]) so obs stays dependency-free;
+    test_obs pins the two together. Distinct from [-1], the "no node"
+    sentinel of Step events. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp_summary : Format.formatter -> summary -> unit

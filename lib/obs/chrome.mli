@@ -1,0 +1,14 @@
+(** Chrome trace-event (about://tracing, Perfetto) exporter for trace
+    snapshots. Each per-domain operation becomes a complete span; SMR events
+    inside it become instant events on the same track. *)
+
+val default_span_name : int -> string
+(** Span name for operation index [op] when no [span_name] is supplied. *)
+
+val to_buffer : ?span_name:(int -> string) -> Trace.snapshot -> Buffer.t -> unit
+(** Append the snapshot as a Chrome [traceEvents] JSON document. *)
+
+val to_string : ?span_name:(int -> string) -> Trace.snapshot -> string
+
+val write : ?span_name:(int -> string) -> string -> Trace.snapshot -> unit
+(** [write path snap] writes the JSON document to [path]. *)

@@ -1,0 +1,35 @@
+(** Minimal Prometheus text-format (version 0.0.4) exposition: an in-memory
+    registry of metric families rendered to a string. Dependency-free; used
+    by the soak driver and the shardkv service to publish SMR and service
+    counters. *)
+
+type t
+
+val create : unit -> t
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+(** [counter t name v] records sample [v] of a counter family [name],
+    creating the family on first use. Invalid metric names raise
+    [Invalid_argument]. *)
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
+
+val summary :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  quantiles:(float * float) list ->
+  count:int ->
+  sum:float ->
+  unit
+(** Summary family: one [{quantile="q"}] series per pair plus [_count] and
+    [_sum] series. *)
+
+val to_string : t -> string
+(** Render all families in registration order, [# HELP]/[# TYPE] comments
+    included. *)
+
+val write : string -> t -> unit

@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — shardkv demo internals consumed only by bin/ and test/; the service layer is an integration exercise, not a published API *)
 (** A minimal JSON document builder — enough for machine-readable benchmark
     and service-stats output without adding a dependency the container may
     not have. Emission only; no parser. *)

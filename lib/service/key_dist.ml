@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — shardkv demo internals consumed only by bin/ and test/; the service layer is an integration exercise, not a published API *)
 (** Key distributions for load generation: uniform, and the YCSB-flavoured
     Zipfian sampler (Gray et al.'s rejection-free inversion with precomputed
     zeta), optionally scrambled so that hot ranks scatter across the key

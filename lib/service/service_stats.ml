@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — shardkv demo internals consumed only by bin/ and test/; the service layer is an integration exercise, not a published API *)
 (** A point-in-time, scheme-agnostic snapshot of a running service: request
     throughput, per-operation latency summaries, per-shard occupancy, and
     the reclamation counters ({!Smr_core.Stats}) that tie service behaviour

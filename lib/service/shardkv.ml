@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — shardkv demo internals consumed only by bin/ and test/; the service layer is an integration exercise, not a published API *)
 (** shardkv: a sharded in-process KV store. The key space is
     hash-partitioned across a power-of-two number of shards, each an
     independently reclaimed {!Smr_ds.Hashmap} bucket array; every shard

@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — shardkv demo internals consumed only by bin/ and test/; the service layer is an integration exercise, not a published API *)
 (** Bridges from the repo's concrete stats types to the value-generic
     {!Obs.Metrics} builder. [Obs] knows nothing about [Smr_core.Stats],
     [Service_stats] or [Histogram]; this module is where the names, labels

@@ -1,3 +1,4 @@
+(* smr-lint: allow R5 — pure signature module (module types and config only): an .mli would duplicate every declaration verbatim *)
 (** The unified interface every reclamation scheme implements.
 
     Data structures in [smr_ds] are functors over {!S}, so one implementation

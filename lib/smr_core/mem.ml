@@ -47,9 +47,18 @@ let make stats =
   h
 
 (* A shared placeholder header: array filler for retire batches. Never
-   retired, freed or dereferenced; uid -1 collides with no real block. *)
+   retired, freed or dereferenced. Its uid is -2, NOT -1: -1 is the "no
+   node" sentinel of Step trace events (Ds_common.uid_of_hdr), and the two
+   must stay distinguishable in traces — the replay checker rejects any
+   event carrying the phantom uid. *)
+let phantom_uid = -2
+
 let phantom =
-  { uid = -1; state = Atomic.make state_live; refcount = Atomic.make 1 }
+  { uid = phantom_uid; state = Atomic.make state_live; refcount = Atomic.make 1 }
+
+let reject_phantom op h =
+  if h.uid = phantom_uid then
+    invalid_arg ("Mem." ^ op ^ ": phantom header escaped into a retire/free path")
 
 let refcount h = h.refcount
 
@@ -59,16 +68,19 @@ let is_retired h = Atomic.get h.state = state_retired
 let is_freed h = Atomic.get h.state = state_freed
 
 let retire_mark h =
+  reject_phantom "retire_mark" h;
   if not (Atomic.compare_and_set h.state state_live state_retired) then
     raise (Double_retire h.uid);
   if Trace.enabled () then Trace.emit Trace.Retire h.uid 0 0
 
 let free_mark h =
+  reject_phantom "free_mark" h;
   if not (Atomic.compare_and_set h.state state_retired state_freed) then
     raise (Invalid_free h.uid);
   if Trace.enabled () then Trace.emit Trace.Free h.uid 0 0
 
 let free_mark_cascade h =
+  reject_phantom "free_mark_cascade" h;
   let s = Atomic.get h.state in
   if s = state_freed || not (Atomic.compare_and_set h.state s state_freed)
   then raise (Invalid_free h.uid);

@@ -24,9 +24,16 @@ val make : Stats.t -> header
     per-domain blocks of 1024 off one global counter, so allocation does
     not contend; uids are unique but not globally ordered. *)
 
+val phantom_uid : int
+(** The phantom's uid, [-2]. Distinct from [-1], the "no node" sentinel of
+    Step trace events ([Ds_common.uid_of_hdr]), so a phantom leaking into a
+    trace cannot masquerade as "stepped from the list head". *)
+
 val phantom : header
-(** A shared placeholder header (uid [-1]) used as array filler by retire
-    batches. Never retire, free or access it. *)
+(** A shared placeholder header (uid {!phantom_uid}) used as array filler by
+    retire batches. Never retire, free or access it: the retire/free paths
+    raise [Invalid_argument] if it reaches them, and the trace-replay
+    checker rejects any event carrying its uid. *)
 
 val uid : header -> int
 (** Unique id, for hash-set membership during hazard scans. *)

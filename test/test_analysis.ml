@@ -1,0 +1,340 @@
+(* Tests for the smr_lint static analyzer (lib/analysis): one known-bad
+   fixture per rule that must fire, known-good fixtures that must stay
+   silent, and the pragma machinery (suppression, mandatory reasons, unused
+   and malformed pragmas as findings). Fixtures are parsed, never typed, so
+   they only need to be syntactically valid OCaml. *)
+
+module Engine = Analysis.Engine
+module Finding = Analysis.Finding
+
+(* Fixture paths carry the scope components the engine dispatches on; the
+   leading /virtual/ segment checks that scope matching is anchored to the
+   lib/... suffix, not to the tree root. *)
+let ds_path = "/virtual/lib/ds/fixture.ml"
+let scheme_path = "/virtual/lib/core/fixture.ml"
+let smr_path = "/virtual/lib/smr/fixture.ml"
+
+let analyze ?(mli_exists = true) ~path text =
+  Engine.analyze_source ~mli_exists ~path text
+
+let rule_ids findings = List.map (fun (f : Finding.t) -> f.rule.id) findings
+
+let check_fires name rule ~path ?mli_exists text =
+  let findings, _ = analyze ~path ?mli_exists text in
+  Alcotest.(check bool)
+    (name ^ ": " ^ rule ^ " fires")
+    true
+    (List.mem rule (rule_ids findings))
+
+let check_silent name ~path ?mli_exists text =
+  let findings, _ = analyze ~path ?mli_exists text in
+  Alcotest.(check (list string)) (name ^ ": silent") [] (rule_ids findings)
+
+(* --- R1: raw-link-deref --------------------------------------------------- *)
+
+let r1_bad =
+  {|
+let lookup t key =
+  let rec go l =
+    match Tagged.ptr (Link.get l) with
+    | None -> None
+    | Some n -> if n.key = key then Some n.value else go n.next
+  in
+  go t.head
+|}
+
+(* Same shape, but the traversal validates each step through try_protect. *)
+let r1_good_protected =
+  {|
+let lookup t l key =
+  let rec go src link expected =
+    match C.try_protect ~src ~node_header l.hp link expected with
+    | C.Invalid -> None
+    | C.Ok cur -> (
+        match Tagged.ptr cur with
+        | None -> None
+        | Some n -> if n.key = key then Some n.value else go None n.next cur)
+  in
+  go None t.head (Link.get t.head)
+|}
+
+(* Raw read without dereferencing the fetched node (Treiber push). *)
+let r1_good_no_deref =
+  {|
+let push t v =
+  let n = { value = v; next = Link.make Tagged.null } in
+  let rec loop () =
+    let h = Link.get t.head in
+    Link.set n.next h;
+    if not (Link.cas t.head h (Tagged.make (Some n))) then loop ()
+  in
+  loop ()
+|}
+
+let test_r1 () =
+  check_fires "raw traversal" "R1" ~path:ds_path r1_bad;
+  (* taint must flow through a helper call argument, not just let/match *)
+  check_fires "flow through local call" "R1" ~path:ds_path
+    {|
+let to_list t =
+  let rec walk acc tg =
+    match Tagged.ptr tg with
+    | None -> List.rev acc
+    | Some n -> walk (n.value :: acc) (Link.get n.next)
+  in
+  walk [] (Link.get t.head)
+|};
+  check_silent "protected traversal" ~path:ds_path r1_good_protected;
+  check_silent "no deref of fetched node" ~path:ds_path r1_good_no_deref;
+  (* out of scope: the same raw traversal in scheme code is not R1's business *)
+  check_silent "out of ds scope" ~path:scheme_path r1_bad
+
+(* --- R2: invalidate-before-free ------------------------------------------ *)
+
+let r2_bad =
+  {|
+let flush d =
+  List.iter (fun h -> Mem.free_mark h) d.bag;
+  do_invalidation d.bag;
+  d.bag <- []
+|}
+
+let r2_good =
+  {|
+let flush d =
+  do_invalidation d.bag;
+  List.iter (fun h -> Mem.free_mark h) d.bag;
+  d.bag <- []
+|}
+
+let test_r2 () =
+  check_fires "free before invalidation" "R2" ~path:scheme_path r2_bad;
+  check_silent "invalidation first" ~path:scheme_path r2_good;
+  (* a function that only frees (classic HP reclaim) has no ordering to get
+     wrong *)
+  check_silent "free only" ~path:scheme_path
+    "let reclaim_all d = List.iter Mem.free_mark d.bag"
+
+(* --- R3: shared-mutable-field --------------------------------------------- *)
+
+let r3_bad =
+  {|
+type slot = { value : int Atomic.t; mutable owner : int }
+|}
+
+(* The mutable field lives one type away from the Atomic-bearing record;
+   reachability must still find it. *)
+let r3_bad_reachable =
+  {|
+type chunk = { mutable cursor : int }
+type registry = { head : chunk Atomic.t; chunks : chunk list }
+|}
+
+let r3_good_handle =
+  {|
+type shared = { head : int Atomic.t }
+type handle = { shared : shared; mutable my_epoch : int }
+|}
+
+let test_r3 () =
+  check_fires "mutable next to Atomic" "R3" ~path:smr_path r3_bad;
+  check_fires "mutable reachable from Atomic" "R3" ~path:smr_path
+    r3_bad_reachable;
+  (* the handle/shared split: mutables in per-domain handle types are the
+     sanctioned pattern, not a race *)
+  check_silent "per-handle mutable" ~path:smr_path r3_good_handle;
+  check_silent "out of shared-state scope" ~path:ds_path r3_bad
+
+(* --- R4: unguarded-trace-alloc -------------------------------------------- *)
+
+let r4_bad =
+  {|
+let record t n = Trace.emit Trace.Retire (List.length (collect t n)) 0 0
+|}
+
+let r4_good_guarded =
+  {|
+let record t n =
+  if Trace.enabled () then
+    Trace.emit Trace.Retire (List.length (collect t n)) 0 0
+|}
+
+let r4_good_simple =
+  {|
+let record h tag = Trace.emit Trace.Retire (Mem.uid h) (tag land 3) 0
+|}
+
+let test_r4 () =
+  check_fires "allocating args unguarded" "R4" ~path:smr_path r4_bad;
+  check_silent "guarded" ~path:smr_path r4_good_guarded;
+  check_silent "simple args need no guard" ~path:smr_path r4_good_simple;
+  (* negated guard shape: emit in the else branch *)
+  check_silent "negated guard" ~path:smr_path
+    {|
+let record t n =
+  if not (Trace.enabled ()) then ()
+  else Trace.emit Trace.Retire (List.length (collect t n)) 0 0
+|}
+
+(* --- R5: missing-mli ------------------------------------------------------- *)
+
+let test_r5 () =
+  check_fires "no mli" "R5" ~path:smr_path ~mli_exists:false "let x = 1";
+  check_silent "mli present" ~path:smr_path ~mli_exists:true "let x = 1";
+  (* out of lib scope entirely: nothing runs *)
+  check_silent "outside lib" ~path:"/virtual/bin/fixture.ml" ~mli_exists:false
+    "let x = 1"
+
+(* --- pragmas --------------------------------------------------------------- *)
+
+let test_pragma_suppression () =
+  let text =
+    {|
+let lookup t key =
+  let rec go l =
+    match Tagged.ptr (Link.get l) with
+    | None -> None
+    (* smr-lint: allow R1 — fixture: reads run quiescently *)
+    | Some n -> if n.key = key then Some n.value else go n.next
+  in
+  go t.head
+|}
+  in
+  let findings, suppressed = analyze ~path:ds_path text in
+  Alcotest.(check (list string)) "suppressed cleanly" [] (rule_ids findings);
+  Alcotest.(check int) "one suppression" 1 (List.length suppressed);
+  let f, reason = List.hd suppressed in
+  Alcotest.(check string) "right rule" "R1" f.Finding.rule.id;
+  Alcotest.(check string) "reason recorded" "fixture: reads run quiescently"
+    reason
+
+let test_pragma_slug_and_file_scope () =
+  (* R5 is file-scope: a pragma anywhere in the file suppresses it, and the
+     slug works as well as the id *)
+  let findings, suppressed =
+    analyze ~path:smr_path ~mli_exists:false
+      "let x = 1\n\
+       (* smr-lint: allow missing-mli — fixture: interface intentionally \
+       open *)\n"
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rule_ids findings);
+  Alcotest.(check int) "one suppression" 1 (List.length suppressed)
+
+let test_pragma_wrong_line_does_not_suppress () =
+  (* line-scope rules need the pragma on the finding line or the line above;
+     a far-away pragma suppresses nothing and is itself flagged as unused *)
+  let text =
+    "(* smr-lint: allow R1 — fixture: too far from the finding *)\n\
+     let a = 0\n\
+     let b = 0\n\
+     let lookup t =\n\
+    \  match Tagged.ptr (Link.get t.head) with\n\
+     | Some n -> Some n.value\n\
+     | None -> None\n"
+  in
+  let findings, _ = analyze ~path:ds_path text in
+  let ids = rule_ids findings in
+  Alcotest.(check bool) "R1 still fires" true (List.mem "R1" ids);
+  Alcotest.(check bool) "pragma flagged unused" true (List.mem "P1" ids)
+
+let test_unused_pragma_flagged () =
+  let findings, _ =
+    analyze ~path:smr_path
+      "(* smr-lint: allow R2 — fixture: nothing here frees anything *)\n\
+       let x = 1"
+  in
+  Alcotest.(check (list string)) "unused pragma is a finding" [ "P1" ]
+    (rule_ids findings)
+
+let test_reasonless_pragma_rejected () =
+  (* no reason, and a reason-separator with nothing after it: both malformed *)
+  List.iter
+    (fun text ->
+      let findings, _ = analyze ~path:smr_path text in
+      Alcotest.(check (list string)) "malformed pragma is a finding" [ "P2" ]
+        (rule_ids findings))
+    [
+      "(* smr-lint: allow R2 *)\nlet x = 1";
+      "(* smr-lint: allow R2 -- *)\nlet x = 1";
+      "(* smr-lint: disallow R2 -- backwards *)\nlet x = 1";
+    ]
+
+let test_marker_mention_is_not_a_pragma () =
+  (* the marker inside a string or mid-comment prose must not parse as a
+     pragma (and so must not be flagged as unused either) *)
+  let findings, suppressed =
+    analyze ~path:smr_path
+      "let doc = \"write smr-lint: allow R1 -- like this\"\nlet x = doc"
+  in
+  Alcotest.(check (list string)) "no findings" [] (rule_ids findings);
+  Alcotest.(check int) "no suppressions" 0 (List.length suppressed)
+
+let test_parse_error_reported () =
+  let findings, _ = analyze ~path:smr_path "let x = (" in
+  Alcotest.(check (list string)) "parse failure surfaces as E0" [ "E0" ]
+    (rule_ids findings)
+
+(* --- end to end over the real tree ---------------------------------------- *)
+
+let test_repo_is_clean () =
+  (* the burn-in contract: the analyzer over lib/ reports nothing, and every
+     suppression carries a reason *)
+  let report = Engine.run [ "lib" ] in
+  List.iter
+    (fun (f : Finding.t) -> Printf.eprintf "%s\n" (Finding.to_human f))
+    report.Engine.findings;
+  Alcotest.(check int) "no findings on lib/" 0
+    (List.length report.Engine.findings);
+  Alcotest.(check bool) "analyzed a real number of files" true
+    (report.Engine.files > 40);
+  List.iter
+    (fun ((f : Finding.t), reason) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "suppression at %s:%d has a reason" f.Finding.file
+           f.Finding.line)
+        true
+        (String.length reason > 10))
+    report.Engine.suppressed
+
+let () =
+  (* dune runs tests from test/_build-adjacent cwd; hop to the repo root so
+     Engine.run [ "lib" ] sees the sources *)
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+  in
+  (match find_root (Sys.getcwd ()) with
+  | Some root -> Sys.chdir root
+  | None -> ());
+  Alcotest.run "analysis"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 raw-link-deref" `Quick test_r1;
+          Alcotest.test_case "R2 invalidate-before-free" `Quick test_r2;
+          Alcotest.test_case "R3 shared-mutable-field" `Quick test_r3;
+          Alcotest.test_case "R4 unguarded-trace-alloc" `Quick test_r4;
+          Alcotest.test_case "R5 missing-mli" `Quick test_r5;
+          Alcotest.test_case "parse error reported" `Quick
+            test_parse_error_reported;
+        ] );
+      ( "pragmas",
+        [
+          Alcotest.test_case "suppresses with reason" `Quick
+            test_pragma_suppression;
+          Alcotest.test_case "slug + file scope" `Quick
+            test_pragma_slug_and_file_scope;
+          Alcotest.test_case "wrong line does not suppress" `Quick
+            test_pragma_wrong_line_does_not_suppress;
+          Alcotest.test_case "unused pragma flagged" `Quick
+            test_unused_pragma_flagged;
+          Alcotest.test_case "reasonless pragma rejected" `Quick
+            test_reasonless_pragma_rejected;
+          Alcotest.test_case "marker mention is not a pragma" `Quick
+            test_marker_mention_is_not_a_pragma;
+        ] );
+      ( "burn-in",
+        [ Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean ] );
+    ]

@@ -181,6 +181,32 @@ let test_step_tag_bits_pin_tagged () =
   | Error (v :: _) -> Alcotest.failf "deleted-tag step rejected: %s" v.Check.v_detail
   | Error [] -> assert false
 
+let test_phantom_uid_rejected () =
+  (* the checker's phantom uid must be Mem's (and not the -1 no-node Step
+     sentinel); any event carrying it must flag, even below no horizon *)
+  Alcotest.(check int) "pinned to Mem.phantom_uid" Smr_core.Mem.phantom_uid
+    Check.phantom_uid;
+  Alcotest.(check bool) "distinct from no-node sentinel" true
+    (Check.phantom_uid <> -1);
+  let phantom_retire =
+    [| ev 0 Trace.Retire ~dom:0 ~uid:Check.phantom_uid () |]
+  in
+  expect_violation "phantom retire" "phantom" ~uid:Check.phantom_uid
+    phantom_retire (fun _ -> ());
+  (* a Step *into* the phantom is just as much of a leak *)
+  (match
+     Check.run [| ev 0 Trace.Step ~dom:0 ~uid:1 ~a:Check.phantom_uid () |]
+   with
+  | Ok _ -> Alcotest.fail "step onto the phantom passed"
+  | Error (v :: _) -> Alcotest.(check string) "rule" "phantom" v.Check.v_rule
+  | Error [] -> assert false);
+  (* while a Step with the ordinary -1 no-node sentinel stays clean *)
+  match Check.run [| ev 0 Trace.Step ~dom:0 ~uid:(-1) ~a:1 () |] with
+  | Ok _ -> ()
+  | Error (v :: _) ->
+      Alcotest.failf "no-node sentinel step rejected: %s" v.Check.v_detail
+  | Error [] -> assert false
+
 let test_horizon_suppresses_incomplete () =
   (* same protect-window shape, but everything before the Free is below the
      horizon: state still replays (no lifecycle noise), nothing flags *)
@@ -304,6 +330,8 @@ let () =
           Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
           Alcotest.test_case "step tag bits pinned to Tagged" `Quick
             test_step_tag_bits_pin_tagged;
+          Alcotest.test_case "phantom uid rejected, pinned to Mem" `Quick
+            test_phantom_uid_rejected;
           Alcotest.test_case "wraparound horizon suppresses incomplete" `Quick
             test_horizon_suppresses_incomplete;
         ] );

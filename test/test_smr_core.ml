@@ -47,6 +47,24 @@ let test_mem_cascade_free () =
   Alcotest.check_raises "double cascade free" (Mem.Invalid_free (Mem.uid h))
     (fun () -> Mem.free_mark_cascade h)
 
+let test_mem_phantom_sentinel () =
+  (* the phantom bag filler must not collide with the -1 "no node" Step
+     sentinel, and must never survive a retire/free path *)
+  Alcotest.(check int) "phantom uid" (-2) (Mem.uid Mem.phantom);
+  Alcotest.(check int) "pinned to phantom_uid" Mem.phantom_uid
+    (Mem.uid Mem.phantom);
+  Alcotest.(check bool) "distinct from the no-node sentinel" true
+    (Mem.phantom_uid <> -1);
+  let rejects name f =
+    match f Mem.phantom with
+    | () -> Alcotest.failf "%s accepted the phantom header" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "retire_mark" Mem.retire_mark;
+  rejects "free_mark" Mem.free_mark;
+  rejects "free_mark_cascade" Mem.free_mark_cascade;
+  Alcotest.(check bool) "still live afterwards" true (Mem.is_live Mem.phantom)
+
 let test_mem_checking_toggle () =
   let stats = Stats.create () in
   let h = Mem.make stats in
@@ -307,6 +325,8 @@ let () =
           Alcotest.test_case "double retire" `Quick test_mem_double_retire;
           Alcotest.test_case "invalid free" `Quick test_mem_invalid_free;
           Alcotest.test_case "cascade free" `Quick test_mem_cascade_free;
+          Alcotest.test_case "phantom sentinel" `Quick
+            test_mem_phantom_sentinel;
           Alcotest.test_case "checking toggle" `Quick test_mem_checking_toggle;
           Alcotest.test_case "uid uniqueness" `Quick test_mem_uid_unique;
           QCheck_alcotest.to_alcotest prop_mem_state_machine;
