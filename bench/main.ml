@@ -64,8 +64,8 @@ let no_uaf_arg =
 
 let exps_arg =
   let doc =
-    "Experiments to run: fig8..fig23, tab1, tab2, alg5, thresholds, hotpath. \
-     Default: all."
+    "Experiments to run: fig8..fig23, tab1, tab2, alg5, thresholds, \
+     stalled, hotpath. Default: all."
   in
   Arg.(value & pos_right (-1) string [] & info [] ~docv:"EXP" ~doc)
 

@@ -7,9 +7,15 @@
      --trace-raw FILE   write the raw trace artifact (trace_check format)
      --metrics FILE     write per-pair reclamation counters (Prometheus text)
      --trace-depth N    trace ring capacity per domain (default 65536)
+     --chaos SEED       fault-injection mode: each round arms one seeded
+                        kill or stall at a random SMR protocol point;
+                        killed handles are recovered via report_crashed
 
    A recorded trace is replay-checked in-process before exit; protocol
-   violations fail the soak. *)
+   violations fail the soak. In chaos mode only the four scheme-defining
+   pairs run (hmlist/HP, hhslist/{HP++,EBR,PEBR}), each round ends with
+   crash recovery and a structural UAF sweep, and the same SEED replays
+   the same plans. *)
 
 module Pool = Smr_core.Domain_pool
 module Rng = Smr_core.Rng
@@ -21,7 +27,8 @@ module Trace = Obs.Trace
 let usage () =
   prerr_endline
     "usage: soak [rounds] [domains] [--every SEC] [--trace FILE]\n\
-    \            [--trace-raw FILE] [--metrics FILE] [--trace-depth N]";
+    \            [--trace-raw FILE] [--metrics FILE] [--trace-depth N]\n\
+    \            [--chaos SEED]";
   exit 2
 
 let rounds = ref 5
@@ -31,6 +38,7 @@ let trace_out = ref None
 let trace_raw_out = ref None
 let metrics_out = ref None
 let trace_depth = ref 65536
+let chaos = ref None
 
 let () =
   let rec parse pos = function
@@ -49,6 +57,9 @@ let () =
         parse pos rest
     | "--trace-depth" :: v :: rest ->
         trace_depth := int_of_string v;
+        parse pos rest
+    | "--chaos" :: v :: rest ->
+        chaos := Some (int_of_string v);
         parse pos rest
     | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
     | a :: rest ->
@@ -153,10 +164,111 @@ struct
       !domains
 end
 
-let () =
-  let tracing = !trace_out <> None || !trace_raw_out <> None in
-  if tracing then Trace.enable ~capacity:!trace_depth ();
-  let ticker = if !every > 0.0 then Some (spawn_ticker !every) else None in
+(* --- chaos mode ---------------------------------------------------------- *)
+
+(* Each round arms one seeded plan before the worker pool starts. A killed
+   worker abandons its handle exactly where the exception found it — slots
+   set, epoch pinned, invalidation pending — and the round ends by handing
+   every such corpse to report_crashed, draining through a fresh survivor,
+   and sweeping the structure for reachable-but-freed nodes. A stalled
+   worker is released by a watchdog domain after the round's duration so
+   the pool can join. *)
+module Chaos_drive
+    (S : Smr.Smr_intf.S) (L : sig
+      type 'v t
+      type local
+
+      val create : S.t -> 'v t
+      val make_local : S.handle -> local
+      val clear_local : local -> unit
+      val get : 'v t -> local -> int -> 'v option
+      val insert : 'v t -> local -> int -> 'v -> bool
+      val remove : 'v t -> local -> int -> bool
+      val to_list : 'v t -> (int * 'v) list
+      val assert_reachable_not_freed : 'v t -> unit
+    end) =
+struct
+  let run name ~seed ~salt ~points =
+    progress.label <- name;
+    for round = 1 to !rounds do
+      let scheme = S.create () in
+      progress.stats <- Some (S.stats scheme);
+      let t = L.create scheme in
+      let plan =
+        Fault.arm_seeded ~seed:((seed * 31) + (salt * 7919) + round) ~points ()
+      in
+      Printf.printf "chaos %-14s round %d: %s at %s after %d hit(s)\n%!" name
+        round
+        (Fault.action_name plan.Fault.action)
+        (Fault.point_name plan.Fault.point)
+        plan.Fault.after;
+      let victims = Array.make !domains None in
+      let watchdog =
+        if plan.Fault.action = Fault.Stall then
+          Some
+            (Domain.spawn (fun () ->
+                 Unix.sleepf 0.35;
+                 Fault.release ()))
+        else None
+      in
+      let _ =
+        Pool.run_timed ~n:!domains ~duration:0.25 (fun i ~stop ->
+            let h = S.register scheme in
+            let lo = L.make_local h in
+            let rng = Rng.create ~seed:((round * 97) + i) in
+            try
+              while not (stop ()) do
+                let key = Rng.below rng 48 in
+                match Rng.below rng 4 with
+                | 0 | 1 -> ignore (L.get t lo key)
+                | 2 -> ignore (L.insert t lo key key)
+                | _ -> ignore (L.remove t lo key)
+              done;
+              L.clear_local lo;
+              S.unregister h
+            with Fault.Killed _ -> victims.(i) <- Some h)
+      in
+      Option.iter Domain.join watchdog;
+      Fault.reset ();
+      Array.iter (function Some h -> S.report_crashed h | None -> ()) victims;
+      let survivor = S.register scheme in
+      S.flush survivor;
+      S.flush survivor;
+      S.flush survivor;
+      S.unregister survivor;
+      L.assert_reachable_not_freed t;
+      let contents = L.to_list t in
+      let keys = List.map fst contents in
+      assert (keys = List.sort_uniq compare keys);
+      (* Recovery must leave at most a handful of counted-but-lost headers
+         (a kill inside an unlink batch's marking loop), never churn-sized
+         garbage. *)
+      let residue = Stats.unreclaimed (S.stats scheme) in
+      if residue > 64 then begin
+        Printf.printf "chaos %s round %d: %d blocks unreclaimed after recovery\n"
+          name round residue;
+        exit 1
+      end
+    done;
+    Printf.printf "chaos ok: %s (%d rounds x %d domains)\n%!" name !rounds
+      !domains
+end
+
+let run_chaos seed =
+  let module C1 = Chaos_drive (Hp) (Smr_ds.Hmlist.Make (Hp)) in
+  C1.run "hmlist/HP" ~seed ~salt:1
+    ~points:[ Fault.Retire; Fault.Protect; Fault.Reclaim ];
+  let module C2 = Chaos_drive (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus)) in
+  C2.run "hhslist/HP++" ~seed ~salt:2
+    ~points:[ Fault.Retire; Fault.Protect; Fault.Unlink; Fault.Reclaim ];
+  let module C3 = Chaos_drive (Ebr) (Smr_ds.Hhslist.Make (Ebr)) in
+  C3.run "hhslist/EBR" ~seed ~salt:3
+    ~points:[ Fault.Retire; Fault.Crit; Fault.Reclaim ];
+  let module C4 = Chaos_drive (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
+  C4.run "hhslist/PEBR" ~seed ~salt:4
+    ~points:[ Fault.Retire; Fault.Protect; Fault.Crit; Fault.Reclaim ]
+
+let run_standard () =
   let module M1 = Drive (Hp) (Smr_ds.Hmlist.Make (Hp)) in
   M1.run "hmlist/HP";
   let module M2 = Drive (Hp_plus) (Smr_ds.Hmlist.Make (Hp_plus)) in
@@ -196,7 +308,15 @@ let () =
   let module M19 = Drive (Pebr) (Smr_ds.Bonsai.Make (Pebr)) in
   M19.run "bonsai/PEBR";
   let module M20 = Drive (Rc) (Smr_ds.Bonsai.Make (Rc)) in
-  M20.run "bonsai/RC";
+  M20.run "bonsai/RC"
+
+let () =
+  let tracing = !trace_out <> None || !trace_raw_out <> None in
+  if tracing then Trace.enable ~capacity:!trace_depth ();
+  let ticker = if !every > 0.0 then Some (spawn_ticker !every) else None in
+  (match !chaos with
+  | Some seed -> run_chaos seed
+  | None -> run_standard ());
   Option.iter
     (fun t ->
       Atomic.set ticker_stop true;

@@ -162,6 +162,10 @@ let reclaim h =
   let before = Retire_bag.length h.retireds in
   Retire_bag.filter_in_place
     (fun hdr ->
+      (* Crash window: a kill mid-filter leaves the bag torn (compacted
+         prefix + stale already-processed window + unprocessed tail);
+         report_crashed salvages it with dedup. *)
+      if Fault.enabled () then Fault.hit Fault.Reclaim;
       if Slots.scan_mem h.scan (Mem.uid hdr) then true
       else begin
         Mem.free_mark hdr;
@@ -178,9 +182,15 @@ let maybe_collect h =
   let c = h.shared.config in
   if h.unlinks_since_invalidation >= c.invalidate_threshold then
     do_invalidation h;
+  (* Only pay for a reclaim pass (hazard snapshot + sort + heavy fence)
+     when the bag holds something to free: with invalidate_threshold >
+     reclaim_threshold, the unlink counter alone used to trip a full pass
+     every reclaim_threshold unlinks while every header was still parked in
+     [unlinkeds] awaiting invalidation, freeing nothing. *)
   if
-    h.unlinks_since_reclaim >= c.reclaim_threshold
-    || Retire_bag.length h.retireds >= c.reclaim_threshold
+    (h.unlinks_since_reclaim >= c.reclaim_threshold
+    || Retire_bag.length h.retireds >= c.reclaim_threshold)
+    && not (Retire_bag.is_empty h.retireds)
   then reclaim h
 
 let retire h hdr =
@@ -228,6 +238,11 @@ let try_unlink h ~frontier ~do_unlink ~node_header ~invalidate =
         :: h.unlinkeds;
       h.unlinks_since_invalidation <- h.unlinks_since_invalidation + 1;
       h.unlinks_since_reclaim <- h.unlinks_since_reclaim + 1;
+      (* Crash window: TryUnlink succeeded (nodes unlinked and marked
+         retired, frontier slots held) but DoInvalidation has not run. A
+         kill here is the paper's worst case — without recovery the batch
+         leaks and its frontier stays protected forever. *)
+      if Fault.enabled () then Fault.hit Fault.Unlink;
       maybe_collect h;
       true
 
@@ -246,6 +261,44 @@ let unregister h =
   Orphanage.add h.shared.orphans (Retire_bag.to_list h.retireds);
   Retire_bag.clear h.retireds;
   Slots.unregister h.local
+
+(* Crash recovery. The dead thread's obligations are discharged in the
+   order the protocol demands:
+   1. its pending DoInvalidation batches run (invalidate-before-free for
+      every node it unlinked);
+   2. a heavy fence orders those invalidation marks before any protection
+      withdrawal — the fence the dead thread would have paid;
+   3. the crash is announced (trace), then its hazard slots — traversal
+      guards and frontier protections alike — are reaped;
+   4. its retire bag, possibly torn by a mid-reclaim death, is salvaged
+      (dedup by uid, skip already-freed) and handed to the orphanage
+      together with the just-invalidated unlinked nodes.
+   The unlinked headers cannot already sit in the bag: they only enter it
+   through do_invalidation, which had not run for them. *)
+let report_crashed h =
+  let t = h.shared in
+  List.iter
+    (fun d ->
+      d.invalidate_all ();
+      if Trace.enabled () then
+        List.iter
+          (fun hdr -> Trace.emit Trace.Invalidate (Mem.uid hdr) d.batch_id 0)
+          d.hdrs)
+    h.unlinkeds;
+  let unlinked = List.concat_map (fun d -> d.hdrs) h.unlinkeds in
+  h.unlinkeds <- [];
+  h.unlinks_since_invalidation <- 0;
+  heavy_fence t;
+  let victim_dom = Slots.dom h.local in
+  Trace.emit Trace.Crash (-1) victim_dom 0;
+  h.epoched_hps <- [];
+  Slots.reap h.local;
+  let salvaged =
+    Retire_bag.salvage ~uid:Mem.uid
+      ~skip:(fun hdr -> Mem.uid hdr = Mem.phantom_uid || Mem.is_freed hdr)
+      h.retireds
+  in
+  Orphanage.add t.orphans (List.rev_append unlinked salvaged)
 
 let pending_unlinked h =
   List.fold_left (fun acc d -> acc + List.length d.hdrs) 0 h.unlinkeds

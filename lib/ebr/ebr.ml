@@ -30,6 +30,7 @@ and participant = { status : int Atomic.t; alive : bool Atomic.t }
 type handle = {
   shared : t;
   me : participant;
+  dom : int; (* registering domain, stamped on Crash trace events *)
   bag : (int * (unit -> unit)) Retire_bag.t;
   mutable defers_since_collect : int;
 }
@@ -58,6 +59,7 @@ let register shared =
   {
     shared;
     me;
+    dom = (Domain.self () :> int);
     bag =
       Retire_bag.create ~capacity:(2 * shared.config.reclaim_threshold)
         (0, ignore);
@@ -67,7 +69,11 @@ let register shared =
 let global_epoch t = Atomic.get t.global_epoch
 
 let crit_enter h =
-  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch))
+  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch));
+  (* Crash window: the critical section is pinned. A kill leaves this
+     participant pinning the epoch forever (EBR's non-robustness) until
+     report_crashed marks it dead; a stall parks the victim pinned. *)
+  if Fault.enabled () then Fault.hit Fault.Crit
 
 let crit_exit h = Atomic.set h.me.status quiescent
 let crit_refresh h = crit_enter h
@@ -110,6 +116,13 @@ let rec adopt_orphans t =
 
 let collect h =
   let t = h.shared in
+  (* Crash window, deliberately placed BEFORE the filter below: EBR bags
+     hold (epoch, thunk) pairs, and a bag torn mid-filter_in_place cannot
+     be salvaged — closures carry no uid to dedup by and no freed-state to
+     skip on. Killing at the pass entry keeps the bag consistent, so
+     report_crashed can adopt it verbatim. (HP/HP++/PEBR, whose bags hold
+     inspectable headers, take the harder mid-filter kill instead.) *)
+  if Fault.enabled () then Fault.hit Fault.Reclaim;
   h.defers_since_collect <- 0;
   Stats.note_peaks t.stats;
   try_advance t;
@@ -174,3 +187,15 @@ let unregister h =
   add_orphans h.shared (Retire_bag.to_list h.bag);
   Retire_bag.clear h.bag;
   Atomic.set h.me.alive false
+
+(* Crash recovery: mark the participant dead — the next try_advance prunes
+   it and the epoch is unpinned, which is all the "rescue" EBR admits —
+   and hand its bag to the orphanage with the retirement epochs intact.
+   The bag is adopted verbatim: the only reclaim-pass injection point sits
+   before the filter (see [collect]), so a crashed owner cannot have left
+   it torn. *)
+let report_crashed h =
+  Trace.emit Trace.Crash (-1) h.dom 0;
+  Atomic.set h.me.alive false;
+  add_orphans h.shared (Retire_bag.to_list h.bag);
+  Retire_bag.clear h.bag

@@ -1,0 +1,93 @@
+type point = Retire | Protect | Unlink | Reclaim | Crit
+type action = Kill | Stall
+
+exception Killed of point
+
+let all_points = [ Retire; Protect; Unlink; Reclaim; Crit ]
+
+let point_name = function
+  | Retire -> "retire"
+  | Protect -> "protect"
+  | Unlink -> "unlink"
+  | Reclaim -> "reclaim"
+  | Crit -> "crit"
+
+let action_name = function Kill -> "kill" | Stall -> "stall"
+
+type plan = { point : point; action : action; after : int }
+
+(* [armed] carries the plan and its countdown; [on] mirrors "armed and not
+   yet fired" so the hook guard is one load of one atomic. The countdown is
+   a fetch_and_add race: exactly one hitter observes the transition 1 -> 0
+   and fires, no matter how many domains hammer the point. *)
+let on = Atomic.make false
+let armed : (plan * int Atomic.t) option Atomic.t = Atomic.make None
+let fired_flag = Atomic.make false
+let victim = Atomic.make (-1)
+let stall_gate = Atomic.make false (* true while a victim must stay parked *)
+let stalled_flag = Atomic.make false
+
+let[@inline] enabled () = Atomic.get on
+let fired () = Atomic.get fired_flag
+
+let victim_dom () =
+  match Atomic.get victim with -1 -> None | d -> Some d
+
+let stalled () = Atomic.get stalled_flag
+let release () = Atomic.set stall_gate false
+
+let reset () =
+  Atomic.set on false;
+  Atomic.set armed None;
+  release ();
+  Atomic.set fired_flag false;
+  Atomic.set stalled_flag false;
+  Atomic.set victim (-1)
+
+let arm ~point ~action ?(after = 1) () =
+  if after < 1 then invalid_arg "Fault.arm: after";
+  reset ();
+  Atomic.set armed (Some ({ point; action; after }, Atomic.make after));
+  Atomic.set on true
+
+let hit p =
+  match Atomic.get armed with
+  | Some (plan, countdown)
+    when plan.point = p && Atomic.fetch_and_add countdown (-1) = 1 ->
+      Atomic.set on false;
+      Atomic.set victim (Domain.self () :> int);
+      Atomic.set fired_flag true;
+      (match plan.action with
+      | Kill -> raise (Killed p)
+      | Stall ->
+          Atomic.set stall_gate true;
+          Atomic.set stalled_flag true;
+          while Atomic.get stall_gate do
+            Domain.cpu_relax ()
+          done;
+          Atomic.set stalled_flag false)
+  | _ -> ()
+
+let await_stalled () =
+  while not (Atomic.get stalled_flag) do
+    Domain.cpu_relax ()
+  done
+
+(* Private splitmix64 step: this module must sit below smr_core, so it
+   cannot borrow Smr_core.Rng. *)
+let mix64 x =
+  let ( * ) = Int64.mul and ( ^^ ) = Int64.logxor in
+  let shr = Int64.shift_right_logical in
+  let x = Int64.add (Int64.of_int x) 0x9E3779B97F4A7C15L in
+  let x = (x ^^ shr x 30) * 0xBF58476D1CE4E5B9L in
+  let x = (x ^^ shr x 27) * 0x94D049BB133111EBL in
+  Int64.to_int (x ^^ shr x 31) land max_int
+
+let arm_seeded ~seed ~points ?(actions = [ Kill; Stall ]) () =
+  if points = [] then invalid_arg "Fault.arm_seeded: points";
+  if actions = [] then invalid_arg "Fault.arm_seeded: actions";
+  let point = List.nth points (mix64 seed mod List.length points) in
+  let action = List.nth actions (mix64 (seed + 1) mod List.length actions) in
+  let after = 1 + (mix64 (seed + 2) mod 400) in
+  arm ~point ~action ~after ();
+  { point; action; after }

@@ -1,0 +1,78 @@
+(** Seeded, deterministic fault injection for SMR protocol points.
+
+    The schemes carry cheap guarded hooks
+    ([if Fault.enabled () then Fault.hit P]) at the places where a real
+    thread could die or stall mid-protocol: between [Mem.retire_mark] and
+    the retire-bag push, while publishing a hazard slot, after a TryUnlink
+    succeeded but before its DoInvalidation, in the middle of a reclamation
+    pass, and inside an EBR/PEBR critical section. When disarmed (the
+    default), every hook is one atomic load and a branch — the same
+    discipline as {!Obs.Trace.enabled}.
+
+    An armed plan fires exactly once, on the [after]-th hit of its point,
+    in whichever domain gets there first:
+
+    - {e Kill} raises {!Killed} out of the victim's operation. A test or
+      driver that catches it must abandon the handle without running
+      [unregister] — that is the crash being simulated — and may later hand
+      the dead handle to a survivor via the scheme's [report_crashed].
+    - {e Stall} parks the victim inside the hook (hazard slots still
+      published, critical section still pinned) until {!release}. The
+      driver must release before joining the victim's domain.
+
+    This module depends on nothing (it sits below [smr_core]), so plans
+    are derived from a seed with a private splitmix64 mixer rather than
+    [Smr_core.Rng]. *)
+
+type point =
+  | Retire  (** after [Mem.retire_mark], before the retire-bag push *)
+  | Protect  (** while publishing a hazard slot ([Slots.set]) *)
+  | Unlink  (** TryUnlink succeeded, DoInvalidation not yet run (HP++) *)
+  | Reclaim  (** inside a reclamation pass *)
+  | Crit  (** inside an EBR/PEBR critical section *)
+
+type action = Kill | Stall
+
+exception Killed of point
+(** Raised out of the victim's operation by a [Kill] plan. *)
+
+val all_points : point list
+val point_name : point -> string
+val action_name : action -> string
+
+val enabled : unit -> bool
+(** True iff a plan is armed and has not fired. Hook guard. *)
+
+val hit : point -> unit
+(** Count one arrival at [point]; fire the armed plan if this is the
+    [after]-th. Called only under an {!enabled} guard. *)
+
+type plan = { point : point; action : action; after : int }
+
+val arm : point:point -> action:action -> ?after:int -> unit -> unit
+(** Arm one plan ([after] defaults to 1: fire on the first hit). Any
+    previously armed plan is replaced. *)
+
+val arm_seeded : seed:int -> points:point list -> ?actions:action list -> unit -> plan
+(** Derive a plan deterministically from [seed] (same seed, same plan) over
+    the given points (and [actions], default both) and arm it. [after] is
+    drawn from [1..400]. Returns the plan so drivers can log it. *)
+
+val fired : unit -> bool
+(** The armed plan has gone off. *)
+
+val victim_dom : unit -> int option
+(** Domain id that tripped the plan, once {!fired}. *)
+
+val stalled : unit -> bool
+(** A [Stall] plan fired and its victim is parked in the hook. *)
+
+val await_stalled : unit -> unit
+(** Spin (with [Domain.cpu_relax]) until {!stalled}. Only meaningful when a
+    [Stall] plan is armed and some thread is driving its point. *)
+
+val release : unit -> unit
+(** Unpark a stalled victim. Idempotent; harmless when nothing stalled. *)
+
+val reset : unit -> unit
+(** Disarm, release any stalled victim, clear [fired]/[victim_dom]. *)

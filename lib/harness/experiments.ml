@@ -382,12 +382,121 @@ let thresholds s =
          results)
     ~fmt:Report.fmt_count
 
+(* --- Stalled-thread robustness (fault-injection layer) ------------------- *)
+
+(* One domain is parked by a Fault.Stall plan while it holds its scheme's
+   protection — pinned critical section for EBR/PEBR, published hazard slot
+   for HP/HP++ — and the main domain churns removes against the structure,
+   sampling retired-but-unreclaimed blocks at fixed op checkpoints. This is
+   the mechanism behind the paper's Figure 11 split, isolated: EBR's curve
+   tracks the churn, the robust schemes stay flat. *)
+module Stalled
+    (S : Smr.Smr_intf.S) (L : sig
+      type 'v t
+      type local
+
+      val create : S.t -> 'v t
+      val make_local : S.handle -> local
+      val clear_local : local -> unit
+      val get : 'v t -> local -> int -> 'v option
+      val insert : 'v t -> local -> int -> 'v -> bool
+      val remove : 'v t -> local -> int -> bool
+    end) =
+struct
+  let run ~point ~checkpoints =
+    Fault.reset ();
+    let t = S.create () in
+    let l = L.create t in
+    let h = S.register t in
+    let lo = L.make_local h in
+    let range = 256 in
+    for k = 0 to range - 1 do
+      ignore (L.insert l lo k k)
+    done;
+    (* Armed only after the prefill so the victim, not the prefill loop,
+       trips the plan; the main domain waits in await_stalled meanwhile. *)
+    Fault.arm ~point ~action:Fault.Stall ~after:20 ();
+    let stop = Atomic.make false in
+    let victim =
+      Domain.spawn (fun () ->
+          let vh = S.register t in
+          let vlo = L.make_local vh in
+          while not (Atomic.get stop) do
+            for k = 0 to range - 1 do
+              ignore (L.get l vlo k)
+            done
+          done;
+          L.clear_local vlo;
+          S.unregister vh)
+    in
+    Fault.await_stalled ();
+    let prev = ref 0 in
+    let samples =
+      List.map
+        (fun cum ->
+          for i = !prev to cum - 1 do
+            let key = i mod range in
+            ignore (L.remove l lo key);
+            ignore (L.insert l lo key key)
+          done;
+          prev := cum;
+          Smr_core.Stats.unreclaimed (S.stats t))
+        checkpoints
+    in
+    Atomic.set stop true;
+    Fault.release ();
+    Domain.join victim;
+    L.clear_local lo;
+    S.flush h;
+    S.flush h;
+    S.flush h;
+    let drained = Smr_core.Stats.unreclaimed (S.stats t) in
+    S.unregister h;
+    Fault.reset ();
+    (samples, drained)
+end
+
+let stalled _s =
+  Report.note
+    "Stalled-thread robustness: a victim domain is parked by the fault \
+     layer while holding its scheme's protection (pinned critical section \
+     for EBR/PEBR, published hazard slot for HP/HP++); the main domain \
+     churns removes and samples unreclaimed blocks per checkpoint.";
+  let checkpoints = [ 1_000; 2_000; 4_000; 8_000; 16_000 ] in
+  let module E = Stalled (Ebr) (Smr_ds.Hhslist.Make (Ebr)) in
+  let ebr, ebr_d = E.run ~point:Fault.Crit ~checkpoints in
+  let module P = Stalled (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
+  let pebr, pebr_d = P.run ~point:Fault.Crit ~checkpoints in
+  let module H = Stalled (Hp) (Smr_ds.Hmlist.Make (Hp)) in
+  let hp, hp_d = H.run ~point:Fault.Protect ~checkpoints in
+  let module HPP = Stalled (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus)) in
+  let hpp, hpp_d = HPP.run ~point:Fault.Protect ~checkpoints in
+  let columns = [ "EBR"; "PEBR"; "HP(HMList)"; "HP++" ] in
+  let rows =
+    List.mapi
+      (fun i cum ->
+        ( string_of_int cum,
+          List.map
+            (fun curve -> Some (float_of_int (List.nth curve i)))
+            [ ebr; pebr; hp; hpp ] ))
+      checkpoints
+    @ [
+        ( "after release",
+          List.map
+            (fun d -> Some (float_of_int d))
+            [ ebr_d; pebr_d; hp_d; hpp_d ] );
+      ]
+  in
+  Report.table
+    ~title:"stalled: unreclaimed blocks vs churn under one stalled thread"
+    ~row_label:"churn ops" ~columns ~rows ~fmt:Report.fmt_count
+
 (* --- Dispatch ------------------------------------------------------------ *)
 
 let known =
   [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15";
     "fig16"; "fig17"; "fig18"; "fig19"; "fig20"; "fig21"; "fig22"; "fig23";
-    "tab1"; "tab2"; "alg5"; "thresholds" ]
+    "tab1"; "tab2"; "alg5"; "thresholds"; "stalled" ]
 
 let run s exp =
   Collector.set_experiment exp;
@@ -400,6 +509,7 @@ let run s exp =
   | "tab2" -> tab2 s
   | "alg5" -> alg5 s
   | "thresholds" -> thresholds s
+  | "stalled" -> stalled s
   | exp when String.length exp > 3 && String.sub exp 0 3 = "fig" -> (
       match int_of_string_opt (String.sub exp 3 (String.length exp - 3)) with
       | Some n when n >= 12 && n <= 23 -> appendix_fig s n

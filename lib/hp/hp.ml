@@ -69,6 +69,9 @@ let reclaim h =
   let before = Retire_bag.length h.retireds in
   Retire_bag.filter_in_place
     (fun hdr ->
+      (* Crash window: a kill mid-filter tears the bag; report_crashed
+         salvages it with dedup. *)
+      if Fault.enabled () then Fault.hit Fault.Reclaim;
       if Slots.scan_mem h.scan (Mem.uid hdr) then true
       else begin
         Mem.free_mark hdr;
@@ -106,3 +109,17 @@ let unregister h =
   Orphanage.add h.shared.orphans (Retire_bag.to_list h.retireds);
   Retire_bag.clear h.retireds;
   Slots.unregister h.local
+
+(* Crash recovery: announce the crash (the trace checker closes the
+   victim's protection intervals at this event), withdraw its hazard
+   slots, then salvage the retire bag — possibly torn by a mid-reclaim
+   death — into the orphanage. Classic HP has no deferred invalidation to
+   complete, so this is the whole obligation. *)
+let report_crashed h =
+  let victim_dom = Slots.dom h.local in
+  Trace.emit Trace.Crash (-1) victim_dom 0;
+  Slots.reap h.local;
+  Orphanage.add h.shared.orphans
+    (Retire_bag.salvage ~uid:Mem.uid
+       ~skip:(fun hdr -> Mem.uid hdr = Mem.phantom_uid || Mem.is_freed hdr)
+       h.retireds)

@@ -38,3 +38,7 @@ let try_unlink t ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
       true
 
 let flush _ = ()
+
+(* NR holds no per-handle state and never reclaims: a crashed handle leaves
+   nothing to rescue (and leaks nothing beyond what NR already leaks). *)
+let report_crashed _ = ()

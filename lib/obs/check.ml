@@ -15,6 +15,7 @@ type summary = {
   steps : int;
   spans : int;
   unlink_batches : int;
+  crashes : int;
   below_horizon : int;
 }
 
@@ -25,9 +26,10 @@ let pp_violation ppf v =
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d events over %d domain(s): %d allocs, %d frees, %d validated \
-     protections, %d steps, %d spans, %d unlink batches%s"
+     protections, %d steps, %d spans, %d unlink batches%s%s"
     s.events s.domains s.allocs s.frees s.protects s.steps s.spans
     s.unlink_batches
+    (if s.crashes > 0 then Printf.sprintf ", %d crash(es)" s.crashes else "")
     (if s.below_horizon > 0 then
        Printf.sprintf " (%d below the wraparound horizon, state-only)"
          s.below_horizon
@@ -77,6 +79,7 @@ let run ?(complete_from = 0) (events : Trace.event array) =
   and protects = ref 0
   and steps = ref 0
   and spans = ref 0
+  and crashes = ref 0
   and below = ref 0 in
   let ustate uid =
     match Hashtbl.find_opt ustates uid with
@@ -271,6 +274,21 @@ let run ?(complete_from = 0) (events : Trace.event array) =
                    e.dom e.uid u.invalidate_seq)
           end
       | Trace.Span -> incr spans
+      | Trace.Crash ->
+          (* [a] is the victim's domain. Its open protection intervals die
+             with it: the reaper withdraws the slots from its own domain,
+             which per-domain Unprotect attribution would never match. The
+             wipe is instantaneous — a later (reused) domain id opening
+             fresh protections is unaffected. *)
+          incr crashes;
+          Hashtbl.iter
+            (fun _ u ->
+              match List.assoc_opt e.a u.protects_by_dom with
+              | Some c when c > 0 ->
+                  u.protects_by_dom <- List.remove_assoc e.a u.protects_by_dom;
+                  u.open_protects <- u.open_protects - c
+              | _ -> ())
+            ustates
       | Trace.Validation_fail | Trace.Epoch_advance | Trace.Reclaim_pass -> ())
     events;
   match !violations with
@@ -285,6 +303,7 @@ let run ?(complete_from = 0) (events : Trace.event array) =
           steps = !steps;
           spans = !spans;
           unlink_batches = Hashtbl.length batches;
+          crashes = !crashes;
           below_horizon = !below;
         }
   | vs ->

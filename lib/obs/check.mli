@@ -22,6 +22,14 @@
       filler header; one in a trace means a bag slot leaked into a real
       retire/free/protection path.
 
+    A [Crash] event (fault injection: a handle died and a survivor reported
+    it) closes every protection interval the victim domain had open: the
+    reaping that follows [report_crashed] withdraws those slots from the
+    reporter's domain, which per-domain Unprotect attribution would
+    otherwise never match, and the crash is precisely the moment the
+    victim's claims stop counting. Frees enabled by the reaping sort after
+    the Crash, so a clean chaos run replays clean.
+
     Ring wraparound is tolerated: events below [complete_from] update
     replay state but never raise violations, since their context may have
     been overwritten. *)
@@ -43,6 +51,7 @@ type summary = {
   steps : int;
   spans : int;
   unlink_batches : int;
+  crashes : int;  (** fault-injected handle deaths reported in the trace *)
   below_horizon : int;  (** events before [complete_from], state-only *)
 }
 

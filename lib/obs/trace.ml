@@ -11,6 +11,7 @@ type kind =
   | Reclaim_pass
   | Step
   | Span
+  | Crash
 
 let kind_code = function
   | Alloc -> 0
@@ -25,6 +26,7 @@ let kind_code = function
   | Reclaim_pass -> 9
   | Step -> 10
   | Span -> 11
+  | Crash -> 12
 
 let kind_of_code = function
   | 0 -> Alloc
@@ -39,6 +41,7 @@ let kind_of_code = function
   | 9 -> Reclaim_pass
   | 10 -> Step
   | 11 -> Span
+  | 12 -> Crash
   | c -> invalid_arg ("Trace.kind_of_code: " ^ string_of_int c)
 
 let kind_name = function
@@ -54,6 +57,7 @@ let kind_name = function
   | Reclaim_pass -> "reclaim_pass"
   | Step -> "step"
   | Span -> "span"
+  | Crash -> "crash"
 
 type event = {
   seq : int;

@@ -31,6 +31,11 @@ type kind =
       (** traversal step; [uid] = source node (-1 unknown), [a] = target
           node (-1 null), [b] = tag bits read from the source link *)
   | Span  (** timed operation; [a] = op code, [b] = duration ns, [ts] = start *)
+  | Crash
+      (** a crashed handle was reported dead; [a] = the {e victim}'s domain
+          id (the event itself is emitted by the surviving reporter).
+          Emitted before the victim's protections are withdrawn, so in
+          merged order every Free enabled by the reaping sorts after it. *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind

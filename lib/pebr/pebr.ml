@@ -81,7 +81,11 @@ let register shared =
 
 let crit_enter h =
   Atomic.set h.me.neutralized false;
-  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch))
+  Atomic.set h.me.status (pinned_at (Atomic.get h.shared.global_epoch));
+  (* Crash window: pinned critical section. Unlike EBR, an unreported
+     victim only stalls reclamation until memory pressure neutralizes it
+     (PEBR's robustness); report_crashed additionally reaps its shields. *)
+  if Fault.enabled () then Fault.hit Fault.Crit
 
 let crit_exit h = Atomic.set h.me.status quiescent
 let crit_refresh h = crit_enter h
@@ -152,6 +156,9 @@ let collect h =
   let before = Retire_bag.length h.bag in
   Retire_bag.filter_in_place
     (fun (e, hdr) ->
+      (* Crash window: a kill mid-filter tears the bag; report_crashed
+         salvages it with dedup. *)
+      if Fault.enabled () then Fault.hit Fault.Reclaim;
       if e + 2 <= epoch && not (Slots.scan_mem h.scan (Mem.uid hdr)) then begin
         Mem.free_mark hdr;
         Stats.on_free t.stats;
@@ -201,3 +208,18 @@ let unregister h =
   Retire_bag.clear h.bag;
   Slots.unregister h.local;
   Atomic.set h.me.alive false
+
+(* Crash recovery: announce the crash (closing the victim's shield
+   intervals in the trace), mark the participant dead so try_advance prunes
+   it, reap its shield slots, and salvage the bag — possibly torn by a
+   mid-reclaim death — into the orphanage with retirement epochs intact. *)
+let report_crashed h =
+  let victim_dom = Slots.dom h.local in
+  Trace.emit Trace.Crash (-1) victim_dom 0;
+  Atomic.set h.me.alive false;
+  Slots.reap h.local;
+  add_orphans h.shared
+    (Retire_bag.salvage
+       ~uid:(fun (_, hdr) -> Mem.uid hdr)
+       ~skip:(fun (_, hdr) -> Mem.uid hdr = Mem.phantom_uid || Mem.is_freed hdr)
+       h.bag)

@@ -94,3 +94,7 @@ let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
       true
 
 let flush h = Ebr.flush h.ebr_h
+
+(* The deferred decrements live in the underlying EBR handle's bag; EBR's
+   recovery (mark dead, orphan the bag) is exactly what RC needs. *)
+let report_crashed h = Ebr.report_crashed h.ebr_h

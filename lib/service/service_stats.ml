@@ -20,6 +20,7 @@ type t = {
   scheme : string;
   shards : int;
   sessions : int; (* worker domains that ever attached *)
+  dead_sessions : int; (* sessions lost to crashes (dead or reaped) *)
   elapsed : float; (* seconds of load the snapshot covers *)
   total_ops : int;
   qps : float;
@@ -51,6 +52,7 @@ let to_json t =
       ("scheme", Json.String t.scheme);
       ("shards", Json.Int t.shards);
       ("sessions", Json.Int t.sessions);
+      ("dead_sessions", Json.Int t.dead_sessions);
       ("elapsed_s", Json.Float t.elapsed);
       ("total_ops", Json.Int t.total_ops);
       ("throughput_qps", Json.Float t.qps);
@@ -74,8 +76,11 @@ let to_json t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>%s: %d shard(s), %d session(s), %.2fs — %d ops (%.0f qps)@," t.scheme
-    t.shards t.sessions t.elapsed t.total_ops t.qps;
+    "@[<v>%s: %d shard(s), %d session(s)%s, %.2fs — %d ops (%.0f qps)@,"
+    t.scheme t.shards t.sessions
+    (if t.dead_sessions > 0 then Printf.sprintf " (%d dead)" t.dead_sessions
+     else "")
+    t.elapsed t.total_ops t.qps;
   List.iter
     (fun (op, s) ->
       Format.fprintf ppf "  %-9s %a@," (op_name op)

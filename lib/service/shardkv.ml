@@ -19,11 +19,20 @@ module Make (S : Smr.Smr_intf.S) = struct
   module Map = Smr_ds.Hashmap.Make (S)
   module St = Service_stats
 
+  (* Session lifecycle: [live] while its worker domain is (presumed)
+     running; [dead] once the worker crashed without detaching; [reaped]
+     after a survivor handed the dead handle to [S.report_crashed]. *)
+  let session_live = 0
+
+  let session_dead = 1
+  let session_reaped = 2
+
   type session = {
     handle : S.handle;
     local : Map.local;
     lat : Histogram.t array; (* indexed by Service_stats.op_index *)
-    mutable ops : int;
+    ops : int Atomic.t;
+    state : int Atomic.t;
   }
 
   type 'v t = {
@@ -57,8 +66,12 @@ module Make (S : Smr.Smr_intf.S) = struct
   let stats t = S.stats t.scheme
 
   (* A different multiplier/shift pair than Hashmap's bucket hash, so shard
-     choice and in-shard bucket choice use decorrelated bits. *)
-  let shard_of t key = key * 0x1C69B3F74AC4AE35 lsr 33 land t.mask
+     choice and in-shard bucket choice use decorrelated bits. The multiply
+     must be parenthesized: [lsr] binds tighter than [*] in OCaml, so
+     without them this evaluates [(key * (C lsr 33)) land mask] — low
+     product bits, making the shard a pure function of [key mod shards]
+     (the distribution test in test_service pins this down). *)
+  let shard_of t key = (key * 0x1C69B3F74AC4AE35) lsr 33 land t.mask
 
   let session t =
     match Domain.DLS.get t.dls with
@@ -70,7 +83,8 @@ module Make (S : Smr.Smr_intf.S) = struct
             handle;
             local = Map.make_local handle;
             lat = Array.init (List.length St.all_ops) (fun _ -> Histogram.create ());
-            ops = 0;
+            ops = Atomic.make 0;
+            state = Atomic.make session_live;
           }
         in
         Domain.DLS.set t.dls (Some s);
@@ -89,6 +103,36 @@ module Make (S : Smr.Smr_intf.S) = struct
            next snapshot even after the worker domain is gone *)
         Domain.DLS.set t.dls None
 
+  (* {1 Crash handling} — fault injection / watchdog integration. *)
+
+  (* Mark the calling domain's session dead without detaching: its SMR
+     registration stays armed (slots set, epoch possibly pinned) exactly as
+     a crashed worker would leave it. Run from the victim domain, as the
+     last thing it does. *)
+  let crash_session t =
+    match Domain.DLS.get t.dls with
+    | None -> ()
+    | Some s ->
+        Atomic.set s.state session_dead;
+        Domain.DLS.set t.dls None
+
+  (* Reap every dead session: a surviving thread completes each crashed
+     handle's protocol obligations via [S.report_crashed]. Returns how many
+     sessions were reaped. Safe to call repeatedly (dead -> reaped is a
+     one-way CAS, so each handle is reported exactly once). *)
+  let reap_dead t =
+    Mutex.lock t.lock;
+    let sessions = t.sessions in
+    Mutex.unlock t.lock;
+    List.fold_left
+      (fun n s ->
+        if Atomic.compare_and_set s.state session_dead session_reaped then begin
+          S.report_crashed s.handle;
+          n + 1
+        end
+        else n)
+      0 sessions
+
   let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
   (* Span events are stamped with the op's own start time ([emit_at]), not
@@ -98,8 +142,11 @@ module Make (S : Smr.Smr_intf.S) = struct
     let t0 = now_ns () in
     let r = f () in
     let dt = now_ns () - t0 in
+    (* Histogram writes (plain stores) happen before the atomic count
+       increment: a snapshot that reads [ops] sees histograms at least that
+       fresh, so the sum can under-report in-flight ops but never tear. *)
     Histogram.record s.lat.(St.op_index op) dt;
-    s.ops <- s.ops + 1;
+    Atomic.incr s.ops;
     if Obs.Trace.enabled () then
       Obs.Trace.emit_at ~ts:t0 Obs.Trace.Span (-1) (St.op_index op) dt;
     r
@@ -171,17 +218,33 @@ module Make (S : Smr.Smr_intf.S) = struct
         acc + List.length keys)
       0 t.shards
 
-  let snapshot t ~elapsed =
+  (* [degraded]: exclude dead/reaped sessions from the op count and latency
+     merge — the service's view after losing domains, where crashed workers'
+     half-recorded histograms should not pollute the living percentiles.
+     The default includes every session that ever attached (detached ones
+     included, as before). *)
+  let snapshot ?(degraded = false) t ~elapsed =
     Mutex.lock t.lock;
     let sessions = t.sessions in
     Mutex.unlock t.lock;
-    let total_ops = List.fold_left (fun acc s -> acc + s.ops) 0 sessions in
+    let dead_sessions =
+      List.length
+        (List.filter (fun s -> Atomic.get s.state <> session_live) sessions)
+    in
+    let counted =
+      if degraded then
+        List.filter (fun s -> Atomic.get s.state = session_live) sessions
+      else sessions
+    in
+    let total_ops =
+      List.fold_left (fun acc s -> acc + Atomic.get s.ops) 0 counted
+    in
     let per_op =
       List.filter_map
         (fun op ->
           let merged =
             Histogram.merge
-              (List.map (fun s -> s.lat.(St.op_index op)) sessions)
+              (List.map (fun s -> s.lat.(St.op_index op)) counted)
           in
           if Histogram.count merged = 0 then None
           else Some (op, Histogram.summary merged))
@@ -193,6 +256,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       St.scheme = S.name;
       shards = Array.length t.shards;
       sessions = List.length sessions;
+      dead_sessions;
       elapsed;
       total_ops;
       qps = (if elapsed > 0.0 then float_of_int total_ops /. elapsed else 0.0);

@@ -53,3 +53,25 @@ let filter_in_place f t =
 let to_list t =
   let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in
   build (t.len - 1) []
+
+(* Crash recovery: collect the distinct, still-relevant entries of a bag
+   whose owner may have died in the middle of [filter_in_place]. A mid-pass
+   kill leaves a compacted prefix, then a window of already-processed
+   entries the compaction has not yet overwritten — some freed, some stale
+   duplicates of kept survivors — then the unprocessed tail, with [len]
+   unchanged. Adopting such a bag verbatim double-frees: the salvager must
+   drop entries [skip] rejects (freed blocks, phantom filler) and dedup by
+   [uid]. Empties the bag. *)
+let salvage ~uid ~skip t =
+  let seen = Hashtbl.create (max 16 t.len) in
+  let out = ref [] in
+  for i = 0 to t.len - 1 do
+    let x = t.data.(i) in
+    let u = uid x in
+    if (not (skip x)) && not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      out := x :: !out
+    end
+  done;
+  clear t;
+  List.rev !out

@@ -27,3 +27,11 @@ val filter_in_place : ('a -> bool) -> 'a t -> unit
 val to_list : 'a t -> 'a list
 (** Cold-path conversion (handle unregistration hands leftovers to the
     orphanage as a list). *)
+
+val salvage : uid:('a -> int) -> skip:('a -> bool) -> 'a t -> 'a list
+(** Crash recovery: the distinct ([uid]-deduplicated) entries not rejected
+    by [skip], in bag order; empties the bag. A bag whose owner died
+    mid-[filter_in_place] holds a torn state — compacted prefix, a window
+    of already-processed entries (freed blocks and stale duplicates of kept
+    survivors), unprocessed tail — that would double-free if adopted
+    verbatim; pass [skip] = "is freed or phantom". *)

@@ -16,6 +16,7 @@ type registry = {
 
 type local = {
   registry : registry;
+  dom : int; (* registering domain, stamped on Crash trace events *)
   mutable my_chunks : chunk list;
   mutable free : slot list;
   mutable owned : int; (* slots handed out, for diagnostics *)
@@ -56,10 +57,13 @@ let register registry =
   let chunk = take_chunk registry in
   {
     registry;
+    dom = (Domain.self () :> int);
     my_chunks = [ chunk ];
     free = Array.to_list chunk.slots;
     owned = 0;
   }
+
+let dom local = local.dom
 
 let acquire local =
   match local.free with
@@ -89,7 +93,11 @@ let trace_unprotect slot =
 
 let set slot hdr =
   trace_unprotect slot;
-  Atomic.set slot (Some hdr)
+  Atomic.set slot (Some hdr);
+  (* Crash window: the protection is published, nothing has been validated
+     or released. A kill leaves the slot set until a reaper clears it; a
+     stall parks the victim with the hazard held. *)
+  if Fault.enabled () then Fault.hit Fault.Protect
 
 let clear slot =
   trace_unprotect slot;
@@ -117,6 +125,13 @@ let unregister local =
   local.my_chunks <- [];
   local.free <- [];
   local.owned <- 0
+
+(* Same motions as [unregister], but run by a surviving thread over a dead
+   handle's slots. Sound only once the owner is actually gone (it would
+   race the owner's own set/clear otherwise) and the dead thread's pending
+   invalidation work has been completed on its behalf — see the schemes'
+   [report_crashed]. *)
+let reap = unregister
 
 (* --- The hazard scan ----------------------------------------------------- *)
 

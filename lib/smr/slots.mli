@@ -27,6 +27,16 @@ val unregister : local -> unit
 (** Clear every slot owned by this handle, deactivate its chunks and park
     them for reuse. The caller must have released all protections first. *)
 
+val reap : local -> unit
+(** {!unregister} run by a {e surviving} thread over a {e dead} handle's
+    slots (crash recovery). Sound only once the owner is gone and its
+    pending invalidation work has been completed on its behalf; see the
+    schemes' [report_crashed]. *)
+
+val dom : local -> int
+(** The domain that registered this handle (stamped on Crash trace
+    events). *)
+
 val acquire : local -> slot
 (** Get an empty slot (paper's MakeHazptr). *)
 

@@ -125,4 +125,16 @@ module type S = sig
 
   val flush : handle -> unit
   (** Force pending invalidation and a reclamation pass. *)
+
+  val report_crashed : handle -> unit
+  (** Crash recovery: a {e surviving} thread declares [handle]'s owner dead
+      without [unregister] having run (fault injection, or a real watchdog).
+      The scheme completes the dead thread's pending protocol obligations on
+      its behalf — HP++ runs its outstanding DoInvalidation batches (else
+      the unlinked nodes leak {e and} their frontier slots stay protected
+      forever) — salvages its retire bag (which may be torn mid-reclaim)
+      into the shared orphanage, withdraws its hazard slots
+      ({!Slots.reap}) and unpins it from the epoch protocol. Call at most
+      once per handle, only when the owner can no longer touch it, and
+      never after [unregister]. *)
 end

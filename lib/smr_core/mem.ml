@@ -71,7 +71,12 @@ let retire_mark h =
   reject_phantom "retire_mark" h;
   if not (Atomic.compare_and_set h.state state_live state_retired) then
     raise (Double_retire h.uid);
-  if Trace.enabled () then Trace.emit Trace.Retire h.uid 0 0
+  if Trace.enabled () then Trace.emit Trace.Retire h.uid 0 0;
+  (* Crash window: the block is marked retired but its header has not yet
+     reached any retire bag. A kill here leaks the block (no survivor can
+     find it) — which is exactly what dying between the mark and the push
+     means, and what chaos tests must tolerate. *)
+  if Fault.enabled () then Fault.hit Fault.Retire
 
 let free_mark h =
   reject_phantom "free_mark" h;

@@ -204,6 +204,104 @@ let test_shardkv_snapshot_json () =
       "shard_occupancy"; "multi_get" ];
   KV.detach kv
 
+(* --- shard routing distribution ----------------------------------------- *)
+
+(* Pearson chi-square of independence between [key mod shards] and the
+   chosen shard, over sequential keys. A multiplicative hash that keeps
+   only LOW product bits is a bijection on key mod 2^k — its sequential
+   marginal is perfectly uniform, so a plain occupancy check cannot see
+   the bug; what it cannot do is make the shard independent of the key's
+   own low bits. df = (shards - 1)^2. *)
+let chi2_independence shard_of ~shards ~n =
+  let counts = Array.make_matrix shards shards 0 in
+  let col_totals = Array.make shards 0 in
+  for key = 0 to n - 1 do
+    let row = key mod shards and col = shard_of key in
+    counts.(row).(col) <- counts.(row).(col) + 1;
+    col_totals.(col) <- col_totals.(col) + 1
+  done;
+  let chi2 = ref 0.0 in
+  for row = 0 to shards - 1 do
+    for col = 0 to shards - 1 do
+      (* sequential keys: every row total is exactly n / shards *)
+      let expected =
+        float_of_int (n / shards)
+        *. float_of_int col_totals.(col)
+        /. float_of_int n
+      in
+      if expected > 0.0 then
+        let d = float_of_int counts.(row).(col) -. expected in
+        chi2 := !chi2 +. (d *. d /. expected)
+    done
+  done;
+  !chi2
+
+(* Marginal chi-square over strided keys (df = shards - 1): a low-bits hash
+   sends every multiple of [stride = shards] to one shard. *)
+let chi2_stride shard_of ~shards ~n =
+  let counts = Array.make shards 0 in
+  for i = 0 to n - 1 do
+    let s = shard_of (i * shards) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let expected = float_of_int n /. float_of_int shards in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0.0 counts
+
+let test_shard_hash_distribution () =
+  let shards = 8 in
+  let kv = KV.create ~shards () in
+  let mask = shards - 1 in
+  let fixed key = KV.shard_of kv key in
+  (* The pre-fix expression, verbatim: [lsr] binds tighter than [*], so
+     this multiplies by (C lsr 33) and keeps the LOW product bits. *)
+  let old key = key * 0x1C69B3F74AC4AE35 lsr 33 land mask in
+  (* 4x df is far beyond any plausible statistical fluctuation, yet orders
+     of magnitude below the broken hash's score. *)
+  let df_ind = float_of_int ((shards - 1) * (shards - 1)) in
+  let df_marg = float_of_int (shards - 1) in
+  let ind_fixed = chi2_independence fixed ~shards ~n:65536 in
+  let ind_old = chi2_independence old ~shards ~n:65536 in
+  if ind_fixed > 4.0 *. df_ind then
+    Alcotest.failf "fixed hash: shard depends on low key bits (chi2 %.1f)"
+      ind_fixed;
+  if ind_old <= 4.0 *. df_ind then
+    Alcotest.failf
+      "old precedence-bug hash passed the independence test (chi2 %.1f)"
+      ind_old;
+  let st_fixed = chi2_stride fixed ~shards ~n:8192 in
+  let st_old = chi2_stride old ~shards ~n:8192 in
+  if st_fixed > 4.0 *. df_marg then
+    Alcotest.failf "fixed hash: stride-%d keys skewed (chi2 %.1f)" shards
+      st_fixed;
+  if st_old <= 4.0 *. df_marg then
+    Alcotest.failf "old hash spread strided keys (chi2 %.1f)" st_old;
+  (* realistic key-population sanity: the DISTINCT keys of a scrambled
+     zipfian draw spread evenly (per-draw counts would only measure the
+     workload's own skew — a hot key always lands on one shard) *)
+  let rng = Rng.create ~seed:13 in
+  let d = Key_dist.zipfian ~scramble:true 100_000 in
+  let seen = Hashtbl.create 4096 in
+  for _ = 1 to 20_000 do
+    Hashtbl.replace seen (Key_dist.next d rng) ()
+  done;
+  let counts = Array.make shards 0 in
+  Hashtbl.iter (fun k () -> counts.(fixed k) <- counts.(fixed k) + 1) seen;
+  let uniques = Hashtbl.length seen in
+  let expected = float_of_int uniques /. float_of_int shards in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let dv = float_of_int c -. expected in
+        acc +. (dv *. dv /. expected))
+      0.0 counts
+  in
+  if chi2 > 4.0 *. df_marg then
+    Alcotest.failf "fixed hash: zipfian key population skewed (chi2 %.1f)" chi2
+
 (* --- shardkv linearizability on a single shard -------------------------- *)
 
 module Lin_check (S : Smr.Smr_intf.S) = struct
@@ -274,6 +372,7 @@ let () =
           case "put/get/delete across shards" test_shardkv_basic;
           case "multi_get preserves order" test_shardkv_multi_get;
           case "routing covers every shard" test_shardkv_routing_coverage;
+          case "shard hash distribution" test_shard_hash_distribution;
           case "snapshot and JSON" test_shardkv_snapshot_json;
         ] );
       ( "linearizability",
