@@ -141,6 +141,8 @@ let result_of ~ops ~wall ?(stats : Stats.t option) () : Bench_types.result =
     ops;
     wall;
     throughput_mops = float_of_int ops /. wall /. 1e6;
+    offered_rps = 0.0;
+    achieved_rps = (if wall > 0.0 then float_of_int ops /. wall else 0.0);
     peak_unreclaimed =
       (match stats with Some s -> Stats.peak_unreclaimed s | None -> 0);
     avg_unreclaimed = 0.;

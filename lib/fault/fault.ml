@@ -1,9 +1,9 @@
-type point = Retire | Protect | Unlink | Reclaim | Crit
+type point = Retire | Protect | Unlink | Reclaim | Crit | Net_read | Net_write
 type action = Kill | Stall
 
 exception Killed of point
 
-let all_points = [ Retire; Protect; Unlink; Reclaim; Crit ]
+let all_points = [ Retire; Protect; Unlink; Reclaim; Crit; Net_read; Net_write ]
 
 let point_name = function
   | Retire -> "retire"
@@ -11,6 +11,8 @@ let point_name = function
   | Unlink -> "unlink"
   | Reclaim -> "reclaim"
   | Crit -> "crit"
+  | Net_read -> "net_read"
+  | Net_write -> "net_write"
 
 let action_name = function Kill -> "kill" | Stall -> "stall"
 

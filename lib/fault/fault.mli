@@ -9,6 +9,14 @@
     default), every hook is one atomic load and a branch — the same
     discipline as {!Obs.Trace.enabled}.
 
+    The networked service layer ([lib/net]) adds two {e client-side} socket
+    points, [Net_read]/[Net_write], hit by the open-loop generator before
+    each socket read/write: a [Stall] there models a slow (frozen) client
+    deterministically, and a [Kill] models a client dying mid-request with
+    its connection dropped on the floor. They are deliberately not hit on
+    the server's reactor path — stalling a reactor domain would stall every
+    session it serves, which is not the failure mode being modelled.
+
     An armed plan fires exactly once, on the [after]-th hit of its point,
     in whichever domain gets there first:
 
@@ -30,6 +38,8 @@ type point =
   | Unlink  (** TryUnlink succeeded, DoInvalidation not yet run (HP++) *)
   | Reclaim  (** inside a reclamation pass *)
   | Crit  (** inside an EBR/PEBR critical section *)
+  | Net_read  (** client socket, before reading responses ([lib/net]) *)
+  | Net_write  (** client socket, before sending a request ([lib/net]) *)
 
 type action = Kill | Stall
 

@@ -22,6 +22,10 @@ type result = {
   ops : int;
   wall : float;
   throughput_mops : float;
+  offered_rps : float;
+      (* open-loop offered arrival rate; 0.0 for closed-loop runs, where
+         there is no schedule independent of the system under test *)
+  achieved_rps : float; (* completions per wall second *)
   peak_unreclaimed : int;
   avg_unreclaimed : float;
   peak_live : int;
@@ -38,6 +42,8 @@ type metric = result -> float
 
 let metric_of_name : string -> metric = function
   | "throughput" -> fun r -> r.throughput_mops
+  | "offered-rps" -> fun r -> r.offered_rps
+  | "achieved-rps" -> fun r -> r.achieved_rps
   | "peak-unreclaimed" -> fun r -> float_of_int r.peak_unreclaimed
   | "avg-unreclaimed" -> fun r -> r.avg_unreclaimed
   | "peak-live" -> fun r -> float_of_int r.peak_live

@@ -14,6 +14,9 @@ type row = {
   key_range : int;
   workload : string;
   result : result;
+  extra : (string * Service.Json.t) list;
+      (* run-shape-specific columns (e.g. netkv's corrected/uncorrected
+         latency summaries) appended verbatim to the row's JSON object *)
 }
 
 let rows : row list ref = ref []
@@ -22,9 +25,18 @@ let current = ref "-"
 let set_experiment name =
   current := name
 
-let add ~ds ~scheme ~threads ~key_range ~workload result =
+let add ?(extra = []) ~ds ~scheme ~threads ~key_range ~workload result =
   rows :=
-    { experiment = !current; ds; scheme; threads; key_range; workload; result }
+    {
+      experiment = !current;
+      ds;
+      scheme;
+      threads;
+      key_range;
+      workload;
+      result;
+      extra;
+    }
     :: !rows
 
 let reset () =
@@ -37,6 +49,8 @@ let result_json (r : result) =
       ("ops", Service.Json.Int r.ops);
       ("wall_s", Service.Json.Float r.wall);
       ("throughput_mops", Service.Json.Float r.throughput_mops);
+      ("offered_rps", Service.Json.Float r.offered_rps);
+      ("achieved_rps", Service.Json.Float r.achieved_rps);
       ("peak_unreclaimed", Service.Json.Int r.peak_unreclaimed);
       ("avg_unreclaimed", Service.Json.Float r.avg_unreclaimed);
       ("peak_live", Service.Json.Int r.peak_live);
@@ -49,15 +63,16 @@ let result_json (r : result) =
 
 let row_json row =
   Service.Json.Obj
-    [
-      ("experiment", Service.Json.String row.experiment);
-      ("ds", Service.Json.String row.ds);
-      ("scheme", Service.Json.String row.scheme);
-      ("threads", Service.Json.Int row.threads);
-      ("key_range", Service.Json.Int row.key_range);
-      ("workload", Service.Json.String row.workload);
-      ("result", result_json row.result);
-    ]
+    ([
+       ("experiment", Service.Json.String row.experiment);
+       ("ds", Service.Json.String row.ds);
+       ("scheme", Service.Json.String row.scheme);
+       ("threads", Service.Json.Int row.threads);
+       ("key_range", Service.Json.Int row.key_range);
+       ("workload", Service.Json.String row.workload);
+       ("result", result_json row.result);
+     ]
+    @ row.extra)
 
 let to_json () =
   Service.Json.Obj

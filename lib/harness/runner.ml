@@ -70,6 +70,8 @@ let assemble_result ~ops ~wall ~avg_unreclaimed stats =
     ops;
     wall;
     throughput_mops = float_of_int ops /. wall /. 1e6;
+    offered_rps = 0.0;
+    achieved_rps = (if wall > 0.0 then float_of_int ops /. wall else 0.0);
     peak_unreclaimed = Stats.peak_unreclaimed stats;
     avg_unreclaimed;
     peak_live = Stats.peak_live stats;

@@ -1,0 +1,75 @@
+(* smr-lint: allow R5 — thin Unix-socket address helpers consumed only inside lib/net and bin/; the surface is three functions over one variant *)
+(** Listening/connecting addresses: Unix-domain sockets and TCP loopback.
+    Parsed from the CLI syntax [unix:/path] / [tcp:HOST:PORT] / [tcp:PORT]
+    (bare port implies 127.0.0.1). *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then invalid_arg "Addr.parse: empty unix path";
+      Unix_sock path
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j ->
+          let host = String.sub rest 0 j in
+          let port = int_of_string (String.sub rest (j + 1) (String.length rest - j - 1)) in
+          Tcp ((if host = "" then "127.0.0.1" else host), port)
+      | None -> Tcp ("127.0.0.1", int_of_string rest))
+  | _ -> invalid_arg ("Addr.parse: " ^ s ^ " (want unix:/path or tcp:host:port)")
+
+let sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let domain = function Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+(* Writing to a peer that already closed must surface as EPIPE for
+   {!Session.flush} to map to [`Closed] — the default SIGPIPE disposition
+   would kill the whole process instead. Idempotent; called by every
+   listen/connect so no binary has to remember it. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | Sys.Signal_default | Sys.Signal_ignore -> ()
+  | previous ->
+      (* a binary installed its own handler; keep it *)
+      Sys.set_signal Sys.sigpipe previous
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+(* Bind + listen, nonblocking (the accept loop multiplexes listeners with
+   [Unix.select], and a connection that resets between select and accept
+   must not wedge it). A stale unix-socket path from a previous run is
+   unlinked first. *)
+let listen ?(backlog = 64) t =
+  ignore_sigpipe ();
+  let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+  (match t with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr t);
+  Unix.listen fd backlog;
+  Unix.set_nonblock fd;
+  fd
+
+let connect t =
+  ignore_sigpipe ();
+  let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr t)
+   with e ->
+     Unix.close fd;
+     raise e);
+  (match t with
+  | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | Unix_sock _ -> ());
+  fd
+
+let unlink_listener = function
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

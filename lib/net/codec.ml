@@ -1,0 +1,156 @@
+(* Zero-dependency binary codec for {!Frame}. The decoder is the part that
+   faces untrusted bytes, so its contract is strict: it never raises, never
+   reads past the declared frame end (and never past [avail]), and reports
+   anything malformed as a typed [Corrupt] instead of guessing. *)
+
+type corrupt =
+  | Oversized of int
+  | Runt of int
+  | Bad_version of int
+  | Bad_opcode of int
+  | Bad_length of { opcode : int; body : int }
+
+type decoded =
+  | Frame of Frame.t * int
+  | Need_more
+  | Corrupt of corrupt
+
+let corrupt_to_string = function
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds cap %d" n Frame.max_frame
+  | Runt n -> Printf.sprintf "declared length %d cannot hold a header" n
+  | Bad_version v -> Printf.sprintf "protocol version %d (want %d)" v Frame.version
+  | Bad_opcode op -> Printf.sprintf "unknown opcode 0x%02x" op
+  | Bad_length { opcode; body } ->
+      Printf.sprintf "body of %d bytes malformed for opcode 0x%02x" body opcode
+
+(* --- encoding ----------------------------------------------------------- *)
+
+(* [Error] messages and [Stats_payload] bodies are clipped so the frame
+   always fits [max_frame]; a truncated stats blob is the sender's problem
+   to avoid (the server's snapshots are a few KB), a truncated error
+   message is harmless. *)
+let max_error_msg = Frame.max_frame - Frame.header_bytes - 3
+let max_stats_payload = Frame.max_frame - Frame.header_bytes
+
+let clip limit s = if String.length s > limit then String.sub s 0 limit else s
+
+let body_bytes = function
+  | Frame.Request (Frame.Get _) | Frame.Request (Frame.Delete _) -> 8
+  | Frame.Request (Frame.Put _) -> 16
+  | Frame.Request Frame.Ping | Frame.Request Frame.Stats -> 0
+  | Frame.Response (Frame.Value _) -> 8
+  | Frame.Response Frame.Not_found
+  | Frame.Response Frame.Retry
+  | Frame.Response Frame.Pong ->
+      0
+  | Frame.Response (Frame.Done _) -> 1
+  | Frame.Response (Frame.Error (_, m)) -> 3 + String.length (clip max_error_msg m)
+  | Frame.Response (Frame.Stats_payload s) ->
+      String.length (clip max_stats_payload s)
+
+let encode buf { Frame.id; payload } =
+  let n = Frame.header_bytes - 4 + body_bytes payload in
+  Buffer.add_int32_be buf (Int32.of_int n);
+  Buffer.add_uint8 buf Frame.version;
+  Buffer.add_uint8 buf (Frame.opcode payload);
+  Buffer.add_int64_be buf (Int64.of_int id);
+  match payload with
+  | Frame.Request (Frame.Get k) | Frame.Request (Frame.Delete k) ->
+      Buffer.add_int64_be buf (Int64.of_int k)
+  | Frame.Request (Frame.Put (k, v)) ->
+      Buffer.add_int64_be buf (Int64.of_int k);
+      Buffer.add_int64_be buf (Int64.of_int v)
+  | Frame.Request Frame.Ping | Frame.Request Frame.Stats -> ()
+  | Frame.Response (Frame.Value v) -> Buffer.add_int64_be buf (Int64.of_int v)
+  | Frame.Response Frame.Not_found
+  | Frame.Response Frame.Retry
+  | Frame.Response Frame.Pong ->
+      ()
+  | Frame.Response (Frame.Done flag) -> Buffer.add_uint8 buf (if flag then 1 else 0)
+  | Frame.Response (Frame.Error (code, msg)) ->
+      let msg = clip max_error_msg msg in
+      Buffer.add_uint8 buf (code land 0xff);
+      Buffer.add_uint16_be buf (String.length msg);
+      Buffer.add_string buf msg
+  | Frame.Response (Frame.Stats_payload s) ->
+      Buffer.add_string buf (clip max_stats_payload s)
+
+let encode_bytes frame =
+  let buf = Buffer.create 32 in
+  encode buf frame;
+  Buffer.to_bytes buf
+
+(* --- decoding ----------------------------------------------------------- *)
+
+let u8 b i = Char.code (Bytes.get b i)
+
+let u32 b i =
+  (u8 b i lsl 24) lor (u8 b (i + 1) lsl 16) lor (u8 b (i + 2) lsl 8)
+  lor u8 b (i + 3)
+
+let u16 b i = (u8 b i lsl 8) lor u8 b (i + 1)
+let i64 b i = Int64.to_int (Bytes.get_int64_be b i)
+
+(* Decode one frame out of [b.[off .. off+avail)]. [Need_more] means a
+   longer read may complete the frame; [Corrupt] means the stream is
+   unrecoverable at this point (framing is length-based, so after a bad
+   header there is no resynchronization — drop the connection). On success
+   the returned count covers the whole frame including the length prefix;
+   no byte at or past [off + consumed] has been inspected. *)
+let decode b ~off ~avail =
+  if avail < 4 then Need_more
+  else
+    let n = u32 b off in
+    if n + 4 > Frame.max_frame then Corrupt (Oversized (n + 4))
+    else if n < Frame.header_bytes - 4 then Corrupt (Runt n)
+    else if avail < n + 4 then Need_more
+    else
+      let ver = u8 b (off + 4) in
+      if ver <> Frame.version then Corrupt (Bad_version ver)
+      else
+        let op = u8 b (off + 5) in
+        let id = i64 b (off + 6) in
+        let body = off + Frame.header_bytes in
+        let blen = n - (Frame.header_bytes - 4) in
+        let consumed = n + 4 in
+        let frame payload = Frame ({ Frame.id; payload }, consumed) in
+        let bad = Corrupt (Bad_length { opcode = op; body = blen }) in
+        if op = Frame.op_get then
+          if blen <> 8 then bad else frame (Frame.Request (Frame.Get (i64 b body)))
+        else if op = Frame.op_put then
+          if blen <> 16 then bad
+          else frame (Frame.Request (Frame.Put (i64 b body, i64 b (body + 8))))
+        else if op = Frame.op_delete then
+          if blen <> 8 then bad
+          else frame (Frame.Request (Frame.Delete (i64 b body)))
+        else if op = Frame.op_ping then
+          if blen <> 0 then bad else frame (Frame.Request Frame.Ping)
+        else if op = Frame.op_stats then
+          if blen <> 0 then bad else frame (Frame.Request Frame.Stats)
+        else if op = Frame.op_value then
+          if blen <> 8 then bad
+          else frame (Frame.Response (Frame.Value (i64 b body)))
+        else if op = Frame.op_not_found then
+          if blen <> 0 then bad else frame (Frame.Response Frame.Not_found)
+        else if op = Frame.op_done then
+          if blen <> 1 then bad
+          else frame (Frame.Response (Frame.Done (u8 b body <> 0)))
+        else if op = Frame.op_retry then
+          if blen <> 0 then bad else frame (Frame.Response Frame.Retry)
+        else if op = Frame.op_error then begin
+          if blen < 3 then bad
+          else
+            let code = u8 b body in
+            let mlen = u16 b (body + 1) in
+            if 3 + mlen <> blen then bad
+            else
+              frame
+                (Frame.Response
+                   (Frame.Error (code, Bytes.sub_string b (body + 3) mlen)))
+        end
+        else if op = Frame.op_pong then
+          if blen <> 0 then bad else frame (Frame.Response Frame.Pong)
+        else if op = Frame.op_stats_payload then
+          frame
+            (Frame.Response (Frame.Stats_payload (Bytes.sub_string b body blen)))
+        else Corrupt (Bad_opcode op)

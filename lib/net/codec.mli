@@ -1,0 +1,32 @@
+(** Binary codec for {!Frame}: a [Buffer]-based encoder and a strict
+    incremental decoder for untrusted bytes. *)
+
+(** Unrecoverable framing damage. Framing is length-based, so there is no
+    resynchronization after a bad header: the connection must be dropped. *)
+type corrupt =
+  | Oversized of int  (** declared whole-frame size exceeds {!Frame.max_frame} *)
+  | Runt of int  (** declared length cannot even hold the fixed header *)
+  | Bad_version of int
+  | Bad_opcode of int
+  | Bad_length of { opcode : int; body : int }
+      (** body length inconsistent with the opcode's fixed layout *)
+
+type decoded =
+  | Frame of Frame.t * int  (** decoded frame and total bytes consumed *)
+  | Need_more  (** a longer read may complete the frame *)
+  | Corrupt of corrupt
+
+val corrupt_to_string : corrupt -> string
+
+val encode : Buffer.t -> Frame.t -> unit
+(** Append one encoded frame. Oversized [Error] messages and
+    [Stats_payload] bodies are clipped to keep the frame under
+    {!Frame.max_frame}. *)
+
+val encode_bytes : Frame.t -> Bytes.t
+(** [encode] into a fresh buffer. *)
+
+val decode : Bytes.t -> off:int -> avail:int -> decoded
+(** Decode one frame from [b.[off .. off+avail)]. Never raises and never
+    inspects a byte at or past [off + avail] — nor past the frame's own
+    declared end on success. *)

@@ -1,0 +1,96 @@
+(* smr-lint: allow R5 — wire-format vocabulary (variants and opcode constants only): an .mli would duplicate every declaration verbatim *)
+(** Wire frames for the networked shardkv service.
+
+    Every frame is a compact length-prefixed binary record:
+
+    {v
+    offset  size  field
+    0       4     length N of the rest of the frame, big-endian u32
+    4       1     protocol version (currently 1)
+    5       1     opcode (request 0x01-0x05, response 0x81-0x87)
+    6       8     request id, big-endian i64 (echoed in the response)
+    14      N-10  body, fixed layout per opcode
+    v}
+
+    Bodies: [Get]/[Delete] carry one i64 key; [Put] carries key then value
+    (i64 each); [Value] one i64; [Done] one u8 flag; [Error] a u8 code, a
+    u16 length and that many message bytes; [Stats_payload] the raw JSON
+    bytes; everything else is empty. Keys and values are OCaml [int]s on
+    both ends — 63-bit, so the i64 encoding is lossless.
+
+    The whole frame (prefix included) is capped at {!max_frame} bytes: a
+    peer announcing more is corrupt (or hostile) and the decoder reports it
+    without buffering the announced length. *)
+
+type request =
+  | Get of int
+  | Put of int * int
+  | Delete of int
+  | Ping
+  | Stats  (** server replies with a JSON snapshot ({!response.Stats_payload}) *)
+
+type response =
+  | Value of int  (** [Get] hit *)
+  | Not_found  (** [Get] miss *)
+  | Done of bool  (** [Put]: inserted; [Delete]: removed *)
+  | Retry  (** backpressure: the session's request queue is full *)
+  | Error of int * string  (** error code (see below) and human message *)
+  | Pong
+  | Stats_payload of string
+
+type payload = Request of request | Response of response
+
+type t = { id : int; payload : payload }
+
+let version = 1
+
+let max_frame = 1 lsl 16
+(** Whole-frame byte cap, length prefix included. *)
+
+let header_bytes = 14
+(** Prefix + version + opcode + id: the body starts here. *)
+
+(* Error codes carried by [Error]. *)
+let err_bad_frame = 1 (* peer sent something the decoder rejected *)
+let err_server = 2 (* the operation died server-side *)
+
+let op_get = 0x01
+let op_put = 0x02
+let op_delete = 0x03
+let op_ping = 0x04
+let op_stats = 0x05
+let op_value = 0x81
+let op_not_found = 0x82
+let op_done = 0x83
+let op_retry = 0x84
+let op_error = 0x85
+let op_pong = 0x86
+let op_stats_payload = 0x87
+
+let opcode = function
+  | Request (Get _) -> op_get
+  | Request (Put _) -> op_put
+  | Request (Delete _) -> op_delete
+  | Request Ping -> op_ping
+  | Request Stats -> op_stats
+  | Response (Value _) -> op_value
+  | Response Not_found -> op_not_found
+  | Response (Done _) -> op_done
+  | Response Retry -> op_retry
+  | Response (Error _) -> op_error
+  | Response Pong -> op_pong
+  | Response (Stats_payload _) -> op_stats_payload
+
+let payload_name = function
+  | Request (Get _) -> "get"
+  | Request (Put _) -> "put"
+  | Request (Delete _) -> "delete"
+  | Request Ping -> "ping"
+  | Request Stats -> "stats"
+  | Response (Value _) -> "value"
+  | Response Not_found -> "not_found"
+  | Response (Done _) -> "done"
+  | Response Retry -> "retry"
+  | Response (Error _) -> "error"
+  | Response Pong -> "pong"
+  | Response (Stats_payload _) -> "stats_payload"

@@ -1,0 +1,373 @@
+(* smr-lint: allow R5 — open-loop client internals consumed only by bin/ and test/; config/result records are documented inline and mirrored in DESIGN.md §12 *)
+(** Open-loop load generation against a {!Server}.
+
+    A closed-loop client (like [shardkv_bench]'s workers) waits for each
+    response before issuing the next request, so when the server stalls the
+    client silently stops offering load — the histogram never sees the
+    requests that {e would} have been issued during the stall. That is
+    coordinated omission. This generator is open-loop: each connection
+    draws arrival times from a seeded exponential process {e in advance} of
+    the server's behaviour and charges every request from its scheduled
+    arrival, whether or not the socket was ready to carry it.
+
+    Three latency views are kept per connection:
+
+    - {e uncorrected}: completion − the moment the request's bytes reached
+      the kernel, the flattering number a coordinated-omitting harness
+      reports (time queued unsent in the client's own buffer is exactly
+      what such a harness never sees, so it must not be charged here);
+    - {e backfill}: HdrHistogram-style correction
+      ({!Service.Histogram.record_corrected}) applied to the uncorrected
+      sample with the mean inter-arrival as the expected interval;
+    - {e corrected}: completion − {e scheduled} arrival, which charges
+      queueing delay (including time the request sat unsent behind a
+      blocked socket) to latency directly.
+
+    Connections run one per domain, pipelined: scheduled sends do not wait
+    for earlier responses. [Retry] responses (the server's backpressure)
+    are counted, not timed. The {!Fault} points [Net_write]/[Net_read] are
+    hit before each socket write/read, so a seeded [Stall] freezes exactly
+    one connection (others must keep completing — a test pins this) and a
+    [Kill] drops a connection mid-request, exercising the server's
+    crash-on-disconnect path. *)
+
+module Rng = Smr_core.Rng
+module Histogram = Service.Histogram
+module Key_dist = Service.Key_dist
+
+type config = {
+  addr : Addr.t;
+  conns : int;
+  rate : float;  (** total offered requests/sec across all connections *)
+  duration : float;  (** seconds of scheduled arrivals *)
+  seed : int;
+  keys : int;  (** key-space size *)
+  read_pct : int;  (** % of requests that are GETs; rest split PUT/DELETE *)
+  dist : string;  (** key distribution name for {!Service.Key_dist} *)
+  theta : float;  (** zipfian skew, when [dist = "zipfian"] *)
+  drain : float;  (** extra seconds to wait for in-flight responses *)
+}
+
+let default_config addr =
+  {
+    addr;
+    conns = 4;
+    rate = 20_000.0;
+    duration = 2.0;
+    seed = 0x0b5e55ed;
+    keys = 1 lsl 14;
+    read_pct = 80;
+    dist = "uniform";
+    theta = 0.99;
+    drain = 2.0;
+  }
+
+type conn_result = {
+  sent : int;
+  completed : int;
+  retried : int;
+  abandoned : int;  (** still pending when the drain window closed *)
+  killed : bool;  (** a seeded [Kill] took this connection down *)
+  stalled_ns : int;  (** time parked in a [Stall], if any *)
+  uncorrected : Histogram.t;
+  backfill : Histogram.t;
+  corrected : Histogram.t;
+}
+
+type result = {
+  offered_rps : float;
+  achieved_rps : float;
+  elapsed : float;  (** wall seconds from first scheduled arrival to last completion *)
+  total_sent : int;
+  total_completed : int;
+  total_retried : int;
+  total_abandoned : int;
+  kills : int;
+  r_uncorrected : Histogram.t;
+  r_backfill : Histogram.t;
+  r_corrected : Histogram.t;
+  per_conn : conn_result list;
+}
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* Exponential inter-arrival gap in ns for one connection's Poisson
+   process. [Rng.float] is in [0,1); guard the log away from 0. *)
+let exp_gap_ns rng ~mean_ns =
+  let u = 1.0 -. Rng.float rng in
+  int_of_float (-.mean_ns *. log (max u 1e-12))
+
+(* [send_ns] starts as the buffering time and is re-stamped when the frame's
+   last byte actually reaches the kernel — the uncorrected histogram must
+   measure what a coordinated-omitting harness would (write, then wait), not
+   charge time spent queued in our own user-space buffer, or overload would
+   inflate the flattering number into agreement with the corrected one. *)
+type pending = { sched_ns : int; mutable send_ns : int }
+
+(* One connection's whole life: connect, schedule, pipeline, drain. Runs on
+   its own domain. All socket I/O goes through the shared {!Session}
+   framing (the client side uses the same buffers, minus the request
+   queue). *)
+let run_conn cfg i =
+  let rng = Rng.create ~seed:(cfg.seed + (i * 0x9e3779b9)) in
+  let dist = Key_dist.of_name ~theta:cfg.theta cfg.dist cfg.keys in
+  let fd = Addr.connect cfg.addr in
+  Unix.set_nonblock fd;
+  let sess = Session.create fd in
+  let mean_ns = 1e9 *. float_of_int cfg.conns /. cfg.rate in
+  let pending : (int, pending) Hashtbl.t = Hashtbl.create 256 in
+  let uncorrected = Histogram.create () in
+  let backfill = Histogram.create () in
+  let corrected = Histogram.create () in
+  let interval = int_of_float mean_ns in
+  let sent = ref 0 in
+  let completed = ref 0 in
+  let retried = ref 0 in
+  let killed = ref false in
+  let stalled_ns = ref 0 in
+  let next_id = ref 0 in
+  let fresh_id () =
+    incr next_id;
+    (i lsl 40) lor !next_id
+  in
+  let request rng =
+    let key = Key_dist.next dist rng in
+    let r = Rng.below rng 100 in
+    if r < cfg.read_pct then Frame.Get key
+    else if r < cfg.read_pct + ((100 - cfg.read_pct) / 2) then
+      Frame.Put (key, key)
+    else Frame.Delete key
+  in
+  let record_completion id =
+    match Hashtbl.find_opt pending id with
+    | None -> () (* duplicate or post-drain stray; ignore *)
+    | Some p ->
+        Hashtbl.remove pending id;
+        incr completed;
+        let t = now_ns () in
+        let service_lat = max 0 (t - p.send_ns) in
+        Histogram.record uncorrected service_lat;
+        Histogram.record_corrected backfill ~interval service_lat;
+        Histogram.record corrected (max 0 (t - p.sched_ns))
+  in
+  let drain_responses () =
+    let rec frames () =
+      match Session.next_frame sess with
+      | `Need_more -> ()
+      | `Corrupt c -> failwith ("openloop: corrupt response: " ^ Codec.corrupt_to_string c)
+      | `Frame f ->
+          (match f.Frame.payload with
+          | Frame.Response Frame.Retry ->
+              incr retried;
+              Hashtbl.remove pending f.Frame.id
+          | Frame.Response _ -> record_completion f.Frame.id
+          | Frame.Request _ -> failwith "openloop: request frame from server");
+          frames ()
+    in
+    if Fault.enabled () then begin
+      let t0 = now_ns () in
+      Fault.hit Fault.Net_read;
+      let dt = now_ns () - t0 in
+      if dt > 1_000_000 then stalled_ns := !stalled_ns + dt
+    end;
+    match Session.fill sess with
+    | Session.Eof -> `Closed
+    | Session.Blocked -> `Ok
+    | Session.Data ->
+        frames ();
+        `Ok
+  in
+  (* Frames leave the out buffer FIFO, so wire-time stamping is a queue of
+     (id, cumulative end offset): whenever the flushed-byte total passes a
+     frame's end offset, that frame is on the wire — stamp it. *)
+  let wire_q : (int * int) Queue.t = Queue.create () in
+  let buffered_total = ref 0 in
+  let flushed_total = ref 0 in
+  let flush_out () =
+    if Session.out_backlog sess > 0 then begin
+      if Fault.enabled () then begin
+        let t0 = now_ns () in
+        Fault.hit Fault.Net_write;
+        let dt = now_ns () - t0 in
+        if dt > 1_000_000 then stalled_ns := !stalled_ns + dt
+      end;
+      let before = Session.out_backlog sess in
+      ignore (Session.flush sess);
+      flushed_total := !flushed_total + (before - Session.out_backlog sess);
+      let stamp = now_ns () in
+      let rec drain_wire () =
+        match Queue.peek_opt wire_q with
+        | Some (id, end_off) when end_off <= !flushed_total ->
+            ignore (Queue.pop wire_q);
+            (match Hashtbl.find_opt pending id with
+            | Some p -> p.send_ns <- stamp
+            | None -> ());
+            drain_wire ()
+        | _ -> ()
+      in
+      drain_wire ()
+    end
+  in
+  let abrupt_close () =
+    (* a killed client does not say goodbye: no flush, no shutdown — the
+       kernel sends FIN/RST when the fd dies and the server sees a crash *)
+    killed := true;
+    Session.close sess
+  in
+  let result () =
+    {
+      sent = !sent;
+      completed = !completed;
+      retried = !retried;
+      abandoned = Hashtbl.length pending;
+      killed = !killed;
+      stalled_ns = !stalled_ns;
+      uncorrected;
+      backfill;
+      corrected;
+    }
+  in
+  try
+    let t0 = now_ns () in
+    let t_end = t0 + int_of_float (cfg.duration *. 1e9) in
+    let next_arrival = ref (t0 + exp_gap_ns rng ~mean_ns) in
+    (* schedule phase: send every request whose arrival time has passed,
+       then sleep in select until the next arrival or socket readiness *)
+    while now_ns () < t_end do
+      let now = now_ns () in
+      while !next_arrival <= now && !next_arrival < t_end do
+        let id = fresh_id () in
+        Hashtbl.replace pending id
+          { sched_ns = !next_arrival; send_ns = now_ns () };
+        let before = Session.out_backlog sess in
+        Session.send sess { Frame.id; payload = Frame.Request (request rng) };
+        buffered_total := !buffered_total + (Session.out_backlog sess - before);
+        Queue.push (id, !buffered_total) wire_q;
+        incr sent;
+        next_arrival := !next_arrival + exp_gap_ns rng ~mean_ns
+      done;
+      flush_out ();
+      (match drain_responses () with
+      | `Closed -> raise Exit
+      | `Ok -> ());
+      let now = now_ns () in
+      let until_arrival =
+        float_of_int (max 0 (min !next_arrival t_end - now)) /. 1e9
+      in
+      let timeout = Float.min until_arrival 0.05 in
+      if timeout > 0.0 then
+        let ws = if Session.out_backlog sess > 0 then [ sess.Session.fd ] else [] in
+        ignore
+          (try Unix.select [ sess.Session.fd ] ws [] timeout
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], []))
+    done;
+    (* drain phase: stop offering load, keep collecting responses *)
+    let deadline = now_ns () + int_of_float (cfg.drain *. 1e9) in
+    (try
+       while Hashtbl.length pending > 0 && now_ns () < deadline do
+         flush_out ();
+         match drain_responses () with
+         | `Closed -> raise Exit
+         | `Ok ->
+             (* always park in select: a busy drain loop would steal the
+                CPU the server needs to actually work the backlog off *)
+             let ws =
+               if Session.out_backlog sess > 0 then [ sess.Session.fd ]
+               else []
+             in
+             ignore
+               (try Unix.select [ sess.Session.fd ] ws [] 0.05
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], []))
+       done
+     with Exit -> ());
+    Session.close sess;
+    result ()
+  with
+  | Fault.Killed _ ->
+      abrupt_close ();
+      result ()
+  | Exit ->
+      (* server went away mid-run: report what completed *)
+      Session.close sess;
+      result ()
+
+let run cfg =
+  if cfg.conns < 1 then invalid_arg "Openloop.run: conns";
+  if cfg.rate <= 0.0 then invalid_arg "Openloop.run: rate";
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init cfg.conns (fun i -> Domain.spawn (fun () -> run_conn cfg i))
+  in
+  let per_conn = List.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun acc c -> acc + f c) 0 per_conn in
+  let total_completed = sum (fun c -> c.completed) in
+  {
+    offered_rps = cfg.rate;
+    achieved_rps =
+      (if elapsed > 0.0 then float_of_int total_completed /. elapsed else 0.0);
+    elapsed;
+    total_sent = sum (fun c -> c.sent);
+    total_completed;
+    total_retried = sum (fun c -> c.retried);
+    total_abandoned = sum (fun c -> c.abandoned);
+    kills = sum (fun c -> if c.killed then 1 else 0);
+    r_uncorrected = Histogram.merge (List.map (fun c -> c.uncorrected) per_conn);
+    r_backfill = Histogram.merge (List.map (fun c -> c.backfill) per_conn);
+    r_corrected = Histogram.merge (List.map (fun c -> c.corrected) per_conn);
+    per_conn;
+  }
+
+(* Windowed synchronous prefill over the wire: at most [window] PUTs
+   outstanding, so the server's bounded queues and the socket buffers never
+   deadlock against a firehose of unacknowledged writes. *)
+let prefill ?(window = 256) cfg ~count =
+  let fd = Addr.connect cfg.addr in
+  Unix.set_nonblock fd;
+  let sess = Session.create fd in
+  let rng = Rng.create ~seed:(cfg.seed lxor 0x5eedf111) in
+  let outstanding = ref 0 in
+  let sent = ref 0 in
+  let acked = ref 0 in
+  let pump timeout =
+    ignore (Session.flush sess);
+    (match Unix.select [ sess.Session.fd ] [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | _ -> ());
+    match Session.fill sess with
+    | Session.Eof -> failwith "Openloop.prefill: server closed the connection"
+    | Session.Blocked | Session.Data ->
+        let rec frames () =
+          match Session.next_frame sess with
+          | `Need_more -> ()
+          | `Corrupt c ->
+              failwith ("Openloop.prefill: " ^ Codec.corrupt_to_string c)
+          | `Frame f ->
+              (match f.Frame.payload with
+              | Frame.Response Frame.Retry ->
+                  (* the bound pushed back: retry the key immediately *)
+                  decr outstanding;
+                  decr sent
+              | Frame.Response _ ->
+                  decr outstanding;
+                  incr acked
+              | Frame.Request _ -> failwith "Openloop.prefill: bad frame");
+              frames ()
+        in
+        frames ()
+  in
+  while !acked < count do
+    if !sent < count && !outstanding < window then begin
+      let key = Rng.below rng cfg.keys in
+      incr sent;
+      incr outstanding;
+      Session.send sess
+        {
+          Frame.id = !sent;
+          payload = Frame.Request (Frame.Put (key, key));
+        }
+    end
+    else pump 0.05
+  done;
+  ignore (Session.flush sess);
+  Session.close sess

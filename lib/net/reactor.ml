@@ -1,0 +1,268 @@
+(* smr-lint: allow R5 — reactor event-loop internals consumed only inside lib/net and bin/; the generic surface (create/add/run/request_stop) is documented here and too entangled with Unix.file_descr plumbing for a separate interface to earn its keep *)
+(** A small [Unix.select]-based reactor: one per shard-serving domain.
+
+    Each reactor owns a set of connections handed to it by the accept loop
+    (via a mutex-guarded inbox plus a self-pipe nudge, so a blocked
+    [select] wakes immediately) and multiplexes them through one loop:
+
+    - {e read}: drain readable sockets, decode complete frames, and either
+      enqueue them on the session's bounded request queue or answer [Retry]
+      when the queue is full (the backpressure contract);
+    - {e serve}: execute up to [batch] queued requests per session per
+      tick through the handler closure — skipping sessions whose output
+      backlog passed [high_water], which is how a slow client stalls only
+      itself (its queue then fills and arrivals bounce as [Retry]);
+    - {e write}: flush output buffers as sockets become writable; a session
+      past [high_water] is also dropped from the read set, so a client
+      that stops reading eventually blocks in its own kernel buffers;
+    - {e lifecycle}: a peer close/reset mid-stream, a corrupt frame, or an
+      operation that dies mid-request tears the connection down through
+      [handler.close ~crashed:true] — the server wires that to
+      {!Service.Shardkv}'s [crash], making a dropped connection a crash
+      that [reap_dead] recovers.
+
+    The handler closures run on the reactor's domain, which therefore owns
+    every kv session it attaches — the single-domain discipline explicit
+    sessions require. *)
+
+type handler = {
+  serve : Frame.request -> Frame.response;
+  close : crashed:bool -> unit;
+}
+
+type counters = {
+  accepted : int Atomic.t; (* connections ever adopted by a reactor *)
+  crashed : int Atomic.t; (* torn down via the crash path *)
+  closed : int Atomic.t; (* torn down cleanly (server shutdown) *)
+  served : int Atomic.t; (* requests executed *)
+  retries : int Atomic.t; (* Retry frames sent *)
+  queued : int Atomic.t; (* requests currently sitting in session queues *)
+}
+
+let make_counters () =
+  {
+    accepted = Atomic.make 0;
+    crashed = Atomic.make 0;
+    closed = Atomic.make 0;
+    served = Atomic.make 0;
+    retries = Atomic.make 0;
+    queued = Atomic.make 0;
+  }
+
+type conn = { sess : Session.t; handler : handler }
+
+type t = {
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  inbox_lock : Mutex.t;
+  mutable inbox : Unix.file_descr list;
+  mutable conns : conn list;
+  stop : bool Atomic.t;
+  make_handler : unit -> handler;
+  queue_bound : int;
+  batch : int;
+  high_water : int;
+  tick : unit -> unit;
+  tick_every : float;
+  counters : counters;
+}
+
+let create ?(queue_bound = 64) ?(batch = 64) ?(high_water = 1 lsl 18)
+    ?(tick_every = 0.1) ~make_handler ~tick ~counters () =
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  {
+    pipe_r;
+    pipe_w;
+    inbox_lock = Mutex.create ();
+    inbox = [];
+    conns = [];
+    stop = Atomic.make false;
+    make_handler;
+    queue_bound;
+    batch;
+    high_water;
+    tick;
+    tick_every;
+    counters;
+  }
+
+let nudge t = try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+(* Hand a freshly accepted connection to this reactor. Callable from any
+   domain (the accept loop's). *)
+let add t fd =
+  Mutex.lock t.inbox_lock;
+  t.inbox <- fd :: t.inbox;
+  Mutex.unlock t.inbox_lock;
+  nudge t
+
+let request_stop t =
+  Atomic.set t.stop true;
+  nudge t
+
+let conn_count t = List.length t.conns
+
+(* --- loop internals (reactor domain only) -------------------------------- *)
+
+let teardown t conn ~crashed =
+  Atomic.fetch_and_add t.counters.queued (-Session.queue_depth conn.sess)
+  |> ignore;
+  (if crashed then Atomic.incr t.counters.crashed
+   else Atomic.incr t.counters.closed);
+  conn.handler.close ~crashed;
+  Session.close conn.sess;
+  t.conns <- List.filter (fun c -> c != conn) t.conns
+
+let adopt t =
+  let drain = Bytes.create 64 in
+  (try
+     while Unix.read t.pipe_r drain 0 64 > 0 do
+       ()
+     done
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ());
+  Mutex.lock t.inbox_lock;
+  let incoming = t.inbox in
+  t.inbox <- [];
+  Mutex.unlock t.inbox_lock;
+  List.iter
+    (fun fd ->
+      Atomic.incr t.counters.accepted;
+      let sess = Session.create ~queue_bound:t.queue_bound fd in
+      t.conns <- { sess; handler = t.make_handler () } :: t.conns)
+    (List.rev incoming)
+
+(* Decode everything the read buffer holds. Decoding never stalls on a full
+   queue — excess requests are answered [Retry] on the spot, which is what
+   keeps the queue (and so the service's obligation to this session)
+   bounded. Returns [false] if the connection must die. *)
+let drain_frames t conn =
+  let rec loop () =
+    match Session.next_frame conn.sess with
+    | `Need_more -> true
+    | `Corrupt c ->
+        Session.send conn.sess
+          {
+            Frame.id = 0;
+            payload =
+              Frame.Response
+                (Frame.Error (Frame.err_bad_frame, Codec.corrupt_to_string c));
+          };
+        ignore (Session.flush conn.sess);
+        false
+    | `Frame f -> (
+        match f.Frame.payload with
+        | Frame.Response _ ->
+            (* a client has no business sending responses *)
+            Session.send conn.sess
+              {
+                Frame.id = f.Frame.id;
+                payload =
+                  Frame.Response
+                    (Frame.Error (Frame.err_bad_frame, "response opcode from client"));
+              };
+            ignore (Session.flush conn.sess);
+            false
+        | Frame.Request _ ->
+            if Session.queue_full conn.sess then begin
+              conn.sess.Session.retries <- conn.sess.Session.retries + 1;
+              Atomic.incr t.counters.retries;
+              Session.send conn.sess
+                { Frame.id = f.Frame.id; payload = Frame.Response Frame.Retry }
+            end
+            else begin
+              Queue.push f conn.sess.Session.inq;
+              Atomic.incr t.counters.queued
+            end;
+            loop ())
+  in
+  loop ()
+
+let handle_read t conn =
+  match Session.fill conn.sess with
+  | Session.Eof -> teardown t conn ~crashed:true
+  | Session.Blocked -> ()
+  | Session.Data -> if not (drain_frames t conn) then teardown t conn ~crashed:true
+
+exception Dead_mid_request
+
+let service_conn t conn =
+  let budget = ref t.batch in
+  (try
+     while
+       !budget > 0
+       && (not (Queue.is_empty conn.sess.Session.inq))
+       && Session.out_backlog conn.sess <= t.high_water
+     do
+       let f = Queue.pop conn.sess.Session.inq in
+       Atomic.fetch_and_add t.counters.queued (-1) |> ignore;
+       decr budget;
+       let req =
+         match f.Frame.payload with
+         | Frame.Request r -> r
+         | Frame.Response _ -> assert false (* never enqueued *)
+       in
+       let resp =
+         match conn.handler.serve req with
+         | r -> r
+         | exception Fault.Killed _ -> raise Dead_mid_request
+         | exception e ->
+             Frame.Error (Frame.err_server, Printexc.to_string e)
+       in
+       conn.sess.Session.served <- conn.sess.Session.served + 1;
+       Atomic.incr t.counters.served;
+       Session.send conn.sess { Frame.id = f.Frame.id; payload = Frame.Response resp }
+     done;
+     match Session.flush conn.sess with
+     | `Done | `Blocked -> ()
+     | `Closed -> teardown t conn ~crashed:true
+   with Dead_mid_request ->
+     (* the kv operation died mid-protocol (an armed Kill): the session is
+        a corpse — crash it and let a survivor's reap recover the scheme *)
+     teardown t conn ~crashed:true)
+
+(* Run until [request_stop]; call from the reactor's own domain. Remaining
+   connections get a clean close on the way out (server-initiated shutdown
+   is not a client crash). *)
+let run t =
+  let last_tick = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get t.stop) do
+    let readable =
+      t.pipe_r
+      :: List.filter_map
+           (fun c ->
+             if Session.out_backlog c.sess > t.high_water then None
+             else Some c.sess.Session.fd)
+           t.conns
+    in
+    let writable =
+      List.filter_map
+        (fun c ->
+          if Session.out_backlog c.sess > 0 then Some c.sess.Session.fd else None)
+        t.conns
+    in
+    (match Unix.select readable writable [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | rs, ws, _ ->
+        if List.memq t.pipe_r rs then adopt t;
+        List.iter
+          (fun c -> if List.memq c.sess.Session.fd rs then handle_read t c)
+          t.conns;
+        List.iter (fun c -> service_conn t c) t.conns;
+        List.iter
+          (fun c ->
+            if List.memq c.sess.Session.fd ws && Session.out_backlog c.sess > 0
+            then
+              match Session.flush c.sess with
+              | `Done | `Blocked -> ()
+              | `Closed -> teardown t c ~crashed:true)
+          t.conns);
+    let now = Unix.gettimeofday () in
+    if now -. !last_tick >= t.tick_every then begin
+      last_tick := now;
+      t.tick ()
+    end
+  done;
+  List.iter (fun c -> teardown t c ~crashed:false) t.conns;
+  (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+  try Unix.close t.pipe_w with Unix.Unix_error _ -> ()

@@ -1,0 +1,170 @@
+(* smr-lint: allow R5 — functor over Smr_intf.S wiring lib/net plumbing to the shardkv service; consumed only by bin/ and test/, documented inline *)
+(** The networked shardkv server: listeners (Unix-domain and/or TCP
+    loopback), one accept-loop domain, and a small pool of {!Reactor}
+    domains, each owning its connections end to end.
+
+    Per connection the reactor attaches one {e explicit} shardkv session,
+    so the connection's SMR registration has exactly one owner. The two
+    ways a connection ends map onto the service's session lifecycle:
+
+    - peer closed / reset / sent garbage / died mid-request →
+      [Kv.crash] — the registration is abandoned exactly as a crashed
+      domain would leave it, and the reactor's periodic tick
+      ([Kv.reap_dead]) has a survivor complete its protocol obligations;
+    - server shutdown → [Kv.detach_session] — a clean [unregister].
+
+    Connection churn therefore exercises the crash-recovery machinery
+    continuously, which is the point: the acceptance check is that a
+    client kill mid-request leaves no residue a reap cannot recover. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Kv = Service.Shardkv.Make (S)
+  module Json = Service.Json
+
+  type t = {
+    kv : int Kv.t;
+    addrs : Addr.t list;
+    listeners : Unix.file_descr list;
+    reactors : Reactor.t array;
+    accept_stop : bool Atomic.t;
+    mutable domains : unit Domain.t list;
+    counters : Reactor.counters;
+    started_at : float;
+  }
+
+  let kv t = t.kv
+  let counters t = t.counters
+  let reap t = Kv.reap_dead t.kv
+
+  let residue t =
+    Smr_core.Stats.unreclaimed (S.stats (Kv.scheme t.kv))
+
+  let stats_json t =
+    let elapsed = Unix.gettimeofday () -. t.started_at in
+    let snap = Kv.snapshot t.kv ~elapsed in
+    let c = t.counters in
+    Json.Obj
+      [
+        ("service", Service.Service_stats.to_json snap);
+        ( "net",
+          Json.Obj
+            [
+              ("accepted", Json.Int (Atomic.get c.Reactor.accepted));
+              ("crashed", Json.Int (Atomic.get c.Reactor.crashed));
+              ("closed", Json.Int (Atomic.get c.Reactor.closed));
+              ("served", Json.Int (Atomic.get c.Reactor.served));
+              ("retries", Json.Int (Atomic.get c.Reactor.retries));
+              ("queued", Json.Int (Atomic.get c.Reactor.queued));
+              ( "open_conns",
+                Json.Int
+                  (Array.fold_left
+                     (fun acc r -> acc + Reactor.conn_count r)
+                     0 t.reactors) );
+            ] );
+      ]
+
+  (* The per-connection handler. [serve] runs on the reactor's domain,
+     which owns [sess]; [Stats] is answered inline from the same snapshot
+     path the CLI uses, as a JSON blob the codec clips at [max_frame]. *)
+  let make_handler t () =
+    let sess = Kv.attach t.kv in
+    let serve req =
+      match req with
+      | Frame.Get k -> (
+          match Kv.get_s t.kv sess k with
+          | Some v -> Frame.Value v
+          | None -> Frame.Not_found)
+      | Frame.Put (k, v) -> Frame.Done (Kv.put_s t.kv sess k v)
+      | Frame.Delete k -> Frame.Done (Kv.delete_s t.kv sess k)
+      | Frame.Ping -> Frame.Pong
+      | Frame.Stats ->
+          Frame.Stats_payload (Json.to_string (stats_json t))
+    in
+    let close ~crashed =
+      if crashed then Kv.crash sess else Kv.detach_session sess
+    in
+    { Reactor.serve; close }
+
+  (* Accept loop: multiplexes every listener through one [select]; each
+     accepted connection is handed round-robin to a reactor. Runs on its
+     own domain until [accept_stop]. *)
+  let accept_loop t =
+    let next = ref 0 in
+    while not (Atomic.get t.accept_stop) do
+      match Unix.select t.listeners [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | rs, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ ->
+                  Unix.set_nonblock fd;
+                  Reactor.add t.reactors.(!next) fd;
+                  next := (!next + 1) mod Array.length t.reactors
+              | exception
+                  Unix.Unix_error
+                    ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                      | Unix.ECONNABORTED ),
+                      _,
+                      _ ) ->
+                  ())
+            rs
+    done
+
+  let start ?(reactors = 2) ?(queue_bound = 64) ?batch ?high_water ?config
+      ?(shards = 4) ?buckets_per_shard addrs =
+    if addrs = [] then invalid_arg "Server.start: no addresses";
+    if reactors < 1 then invalid_arg "Server.start: reactors";
+    let kv = Kv.create ?config ~shards ?buckets_per_shard () in
+    let counters = Reactor.make_counters () in
+    let listeners = List.map Addr.listen addrs in
+    let rec t =
+      lazy
+        {
+          kv;
+          addrs;
+          listeners;
+          reactors =
+            Array.init reactors (fun _ ->
+                Reactor.create ~queue_bound ?batch ?high_water
+                  ~make_handler:(fun () -> make_handler (Lazy.force t) ())
+                  ~tick:(fun () -> ignore (Kv.reap_dead kv))
+                  ~counters ());
+          accept_stop = Atomic.make false;
+          domains = [];
+          counters;
+          started_at = Unix.gettimeofday ();
+        }
+    in
+    let t = Lazy.force t in
+    let reactor_domains =
+      Array.to_list
+        (Array.map (fun r -> Domain.spawn (fun () -> Reactor.run r)) t.reactors)
+    in
+    let acceptor = Domain.spawn (fun () -> accept_loop t) in
+    t.domains <- acceptor :: reactor_domains;
+    t
+
+  (* Graceful stop: the acceptor dies first (no new connections), then the
+     reactors close their remaining connections cleanly, then a final reap
+     recovers anything client churn left dead. Listener sockets (and stale
+     unix paths) are released last. *)
+  let stop t =
+    Atomic.set t.accept_stop true;
+    Array.iter Reactor.request_stop t.reactors;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners;
+    List.iter Addr.unlink_listener t.addrs;
+    ignore (Kv.reap_dead t.kv);
+    (* drain what the final reap orphaned: one throwaway session forces a
+       pass over the shared bags so post-stop residue reflects true leaks,
+       not merely unflushed garbage *)
+    let s = Kv.attach t.kv in
+    S.flush s.Kv.handle;
+    Kv.detach_session s
+
+  let snapshot ?degraded t ~elapsed = Kv.snapshot ?degraded t.kv ~elapsed
+end

@@ -1,0 +1,116 @@
+(* smr-lint: allow R5 — per-connection buffer plumbing consumed only inside lib/net; single-domain mutable state with no published invariants beyond the function docs *)
+(** One socket connection's framing state: a growable read buffer the
+    decoder walks incrementally, a bounded queue of decoded-but-unserviced
+    request frames, and an output buffer drained by nonblocking writes.
+
+    A session is single-domain state — the reactor that owns the connection
+    (or the client loop, which reuses the same machinery for its side of
+    the socket) is the only toucher. The {e request queue bound} is the
+    service's backpressure point: the reactor rejects frames decoded while
+    the queue is full with a [Retry] response instead of buffering
+    unbounded work for a session that is outrunning its shard. *)
+
+type read_result = Data | Eof | Blocked
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable roff : int; (* bytes of [rbuf] already decoded *)
+  mutable rlen : int; (* valid bytes in [rbuf] *)
+  inq : Frame.t Queue.t;
+  queue_bound : int;
+  out : Buffer.t;
+  mutable out_off : int; (* bytes of [out] already written to the socket *)
+  mutable retries : int; (* Retry frames issued to this session *)
+  mutable served : int; (* requests actually executed *)
+}
+
+let create ?(queue_bound = 64) fd =
+  {
+    fd;
+    rbuf = Bytes.create 4096;
+    roff = 0;
+    rlen = 0;
+    inq = Queue.create ();
+    queue_bound;
+    out = Buffer.create 4096;
+    out_off = 0;
+    retries = 0;
+    served = 0;
+  }
+
+let queue_full t = Queue.length t.inq >= t.queue_bound
+let queue_depth t = Queue.length t.inq
+let out_backlog t = Buffer.length t.out - t.out_off
+
+(* Make room for one more read chunk: compact consumed bytes to the front,
+   then double the buffer while the tail can't hold [want] bytes. *)
+let reserve t want =
+  if t.roff > 0 then begin
+    Bytes.blit t.rbuf t.roff t.rbuf 0 (t.rlen - t.roff);
+    t.rlen <- t.rlen - t.roff;
+    t.roff <- 0
+  end;
+  while Bytes.length t.rbuf - t.rlen < want do
+    let bigger = Bytes.create (2 * Bytes.length t.rbuf) in
+    Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+    t.rbuf <- bigger
+  done
+
+(* One nonblocking read. [Eof] covers both a clean FIN and a reset — the
+   caller treats either as the peer being gone. *)
+let fill t =
+  reserve t 4096;
+  match Unix.read t.fd t.rbuf t.rlen 4096 with
+  | 0 -> Eof
+  | n ->
+      t.rlen <- t.rlen + n;
+      Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      Blocked
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Eof
+
+(* Decode the next frame out of the read buffer, if a whole one arrived. *)
+let next_frame t =
+  match Codec.decode t.rbuf ~off:t.roff ~avail:(t.rlen - t.roff) with
+  | Codec.Frame (f, consumed) ->
+      t.roff <- t.roff + consumed;
+      if t.roff = t.rlen then begin
+        t.roff <- 0;
+        t.rlen <- 0
+      end;
+      `Frame f
+  | Codec.Need_more -> `Need_more
+  | Codec.Corrupt c -> `Corrupt c
+
+let send t frame = Codec.encode t.out frame
+
+(* Drain the output buffer with nonblocking writes, one bounded chunk per
+   call. Copying the whole buffer per attempt would be quadratic exactly
+   when it hurts most — an open-loop client running far past the server's
+   capacity accumulates megabytes here, and each flush must cost O(chunk),
+   not O(backlog). *)
+let flush_chunk = 65536
+
+let flush t =
+  let backlog = out_backlog t in
+  if backlog = 0 then `Done
+  else
+    let n = min backlog flush_chunk in
+    let chunk = Buffer.sub t.out t.out_off n in
+    match Unix.write_substring t.fd chunk 0 n with
+    | w ->
+        t.out_off <- t.out_off + w;
+        if out_backlog t = 0 then begin
+          Buffer.clear t.out;
+          t.out_off <- 0;
+          `Done
+        end
+        else `Blocked
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        `Blocked
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Closed
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

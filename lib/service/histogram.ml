@@ -54,6 +54,14 @@ let highest_equivalent t i =
     let off = (i - t.sub_count) mod t.sub_half in
     ((t.sub_half + off) lsl k) + (1 lsl k) - 1
 
+(* Lowest value mapping to bucket [i]. *)
+let lowest_equivalent t i =
+  if i < t.sub_count then i
+  else
+    let k = ((i - t.sub_count) / t.sub_half) + 1 in
+    let off = (i - t.sub_count) mod t.sub_half in
+    (t.sub_half + off) lsl k
+
 let record t v =
   let v = if v < 0 then 0 else v in
   let i = index t v in
@@ -61,6 +69,49 @@ let record t v =
   t.total <- t.total + 1;
   if v > t.max_v then t.max_v <- v;
   t.sum <- t.sum +. float_of_int v
+
+(* HdrHistogram's recordValueWithExpectedInterval: when a recorded value is
+   larger than the expected sampling interval, the requests that *would*
+   have been issued during the stall were never measured (coordinated
+   omission) — backfill them at [v - interval], [v - 2*interval], ...
+
+   The backfills form the arithmetic sequence [v - k*interval] for
+   [k = 1 .. v/interval - 1], which can be millions of values when a
+   deeply-backlogged request completes (a 19 s latency at a 4 µs expected
+   interval is ~4.5M backfills — recording them one by one stalls the very
+   load generator whose measurements this corrects). Instead, walk the
+   buckets the sequence spans and count the k hitting each bucket's value
+   range in closed form: O(buckets), independent of [v / interval]. *)
+let record_corrected t ~interval v =
+  let v = if v < 0 then 0 else v in
+  record t v;
+  if interval > 0 && v >= 2 * interval then begin
+    let kmax = (v / interval) - 1 in
+    let last = Array.length t.counts - 1 in
+    for b = index t interval to index t v do
+      let lo = lowest_equivalent t b in
+      let hi =
+        let h = highest_equivalent t b in
+        (* the clamped last bucket also holds values past its nominal range *)
+        if b = last && v > h then v else h
+      in
+      (* k with lo <= v - k*interval <= hi: ceil((v-hi)/i) .. floor((v-lo)/i);
+         the max/min clamps absorb truncated division on the boundaries *)
+      let k1 = max 1 ((v - hi + interval - 1) / interval) in
+      let k2 = min kmax ((v - lo) / interval) in
+      if k2 >= k1 then begin
+        let n = k2 - k1 + 1 in
+        t.counts.(b) <- t.counts.(b) + n;
+        t.total <- t.total + n;
+        (* sum of the n values v - k*interval, k in [k1, k2] *)
+        t.sum <-
+          t.sum
+          +. (float_of_int n
+              *. (float_of_int v
+                 -. (float_of_int interval *. float_of_int (k1 + k2) /. 2.0)))
+      end
+    done
+  end
 
 let count t = t.total
 let max_value t = t.max_v

@@ -20,6 +20,16 @@ val create : ?sub_bits:int -> ?max_exp:int -> unit -> t
 val record : t -> int -> unit
 (** Record one value. Negative values clamp to 0. Single-writer. *)
 
+val record_corrected : t -> interval:int -> int -> unit
+(** [record_corrected t ~interval v] records [v] and then backfills the
+    observations hidden by coordinated omission (HdrHistogram's
+    [recordValueWithExpectedInterval]): when [v] exceeds [interval] — the
+    expected gap between samples — the stalled sampler {e missed} requests
+    that would have seen latencies [v - interval], [v - 2*interval], ...;
+    each is recorded too (down to [interval]). With [interval <= 0] this is
+    plain {!record}. Corrected tail percentiles are therefore never below
+    the uncorrected ones for the same inputs. *)
+
 val count : t -> int
 val max_value : t -> int
 

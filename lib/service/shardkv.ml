@@ -4,11 +4,20 @@
     independently reclaimed {!Smr_ds.Hashmap} bucket array; every shard
     shares one reclamation domain so garbage accounting stays global.
 
-    Requests go through a per-domain {e session} (cached in domain-local
-    storage) holding the SMR registration, the traversal guards, and the
-    per-operation latency histograms — worker domains register with the
-    scheme once, not per request, and record latency without touching any
-    shared state.
+    Requests go through a {e session} holding the SMR registration, the
+    traversal guards, and the per-operation latency histograms. Sessions
+    come in two flavours sharing one lifecycle:
+
+    - {e implicit}, one per worker domain, cached in domain-local storage
+      ([get]/[put]/[delete]/[multi_get]): worker domains register with the
+      scheme once, not per request, and record latency without touching
+      any shared state;
+    - {e explicit} ([attach] + the [*_s] operations): the caller owns the
+      session object — the networked server attaches one per {e connection}
+      so a dropped connection abandons exactly one SMR registration, which
+      [crash] + [reap_dead] then recover. An explicit session is
+      single-threaded state: all its operations must run on one domain at a
+      time (a reactor pins each connection to one domain).
 
     [put] has insert-if-absent semantics (the underlying map is a set-map):
     it returns [false] when the key is already present. This is exactly the
@@ -19,13 +28,17 @@ module Make (S : Smr.Smr_intf.S) = struct
   module Map = Smr_ds.Hashmap.Make (S)
   module St = Service_stats
 
-  (* Session lifecycle: [live] while its worker domain is (presumed)
-     running; [dead] once the worker crashed without detaching; [reaped]
-     after a survivor handed the dead handle to [S.report_crashed]. *)
+  (* Session lifecycle: [live] while its owner (worker domain or network
+     connection) is presumed running; [detached] after a clean close
+     ([unregister] has run, nothing to recover); [dead] once the owner
+     crashed without detaching; [reaped] after a survivor handed the dead
+     handle to [S.report_crashed]. live -> detached and live -> dead are
+     one-way CASes, so a racing detach/crash resolves to exactly one. *)
   let session_live = 0
 
   let session_dead = 1
   let session_reaped = 2
+  let session_detached = 3
 
   type session = {
     handle : S.handle;
@@ -73,47 +86,68 @@ module Make (S : Smr.Smr_intf.S) = struct
      (the distribution test in test_service pins this down). *)
   let shard_of t key = (key * 0x1C69B3F74AC4AE35) lsr 33 land t.mask
 
+  (* {1 Explicit sessions} — one per owner (connection, worker, ...). *)
+
+  let attach t =
+    let handle = S.register t.scheme in
+    let s =
+      {
+        handle;
+        local = Map.make_local handle;
+        lat = Array.init (List.length St.all_ops) (fun _ -> Histogram.create ());
+        ops = Atomic.make 0;
+        state = Atomic.make session_live;
+      }
+    in
+    Mutex.lock t.lock;
+    t.sessions <- s :: t.sessions;
+    Mutex.unlock t.lock;
+    s
+
+  (* Clean close: run from the domain that owns [s], after its last
+     operation. Idempotent, and a no-op on a crashed session (the handle
+     must then go through [reap_dead], not [unregister]). *)
+  let detach_session s =
+    if Atomic.compare_and_set s.state session_live session_detached then begin
+      Map.clear_local s.local;
+      S.unregister s.handle
+      (* the session record stays in [t.sessions]: its histograms feed the
+         next snapshot even after the owner is gone *)
+    end
+
+  (* Mark [s] dead without detaching: its SMR registration stays armed
+     (slots set, epoch possibly pinned) exactly as a crashed owner would
+     leave it. Call when the owner can no longer touch the session — from
+     the victim domain as the last thing it does, or from a reactor that
+     just watched the session's connection drop. *)
+  let crash s =
+    ignore (Atomic.compare_and_set s.state session_live session_dead)
+
+  (* {1 Implicit per-domain sessions} — cached in domain-local storage. *)
+
   let session t =
     match Domain.DLS.get t.dls with
     | Some s -> s
     | None ->
-        let handle = S.register t.scheme in
-        let s =
-          {
-            handle;
-            local = Map.make_local handle;
-            lat = Array.init (List.length St.all_ops) (fun _ -> Histogram.create ());
-            ops = Atomic.make 0;
-            state = Atomic.make session_live;
-          }
-        in
+        let s = attach t in
         Domain.DLS.set t.dls (Some s);
-        Mutex.lock t.lock;
-        t.sessions <- s :: t.sessions;
-        Mutex.unlock t.lock;
         s
 
   let detach t =
     match Domain.DLS.get t.dls with
     | None -> ()
     | Some s ->
-        Map.clear_local s.local;
-        S.unregister s.handle;
-        (* the session record stays in [t.sessions]: its histograms feed the
-           next snapshot even after the worker domain is gone *)
+        detach_session s;
         Domain.DLS.set t.dls None
 
   (* {1 Crash handling} — fault injection / watchdog integration. *)
 
-  (* Mark the calling domain's session dead without detaching: its SMR
-     registration stays armed (slots set, epoch possibly pinned) exactly as
-     a crashed worker would leave it. Run from the victim domain, as the
-     last thing it does. *)
+  (* [crash] for the calling domain's implicit session. *)
   let crash_session t =
     match Domain.DLS.get t.dls with
     | None -> ()
     | Some s ->
-        Atomic.set s.state session_dead;
+        crash s;
         Domain.DLS.set t.dls None
 
   (* Reap every dead session: a surviving thread completes each crashed
@@ -151,24 +185,24 @@ module Make (S : Smr.Smr_intf.S) = struct
       Obs.Trace.emit_at ~ts:t0 Obs.Trace.Span (-1) (St.op_index op) dt;
     r
 
-  let get t key =
-    let s = session t in
+  let get_s t s key =
     timed s St.Get (fun () -> Map.get t.shards.(shard_of t key) s.local key)
 
-  let put t key value =
-    let s = session t in
+  let put_s t s key value =
     timed s St.Put (fun () ->
         Map.insert t.shards.(shard_of t key) s.local key value)
 
-  let delete t key =
-    let s = session t in
+  let delete_s t s key =
     timed s St.Delete (fun () ->
         Map.remove t.shards.(shard_of t key) s.local key)
 
+  let get t key = get_s t (session t) key
+  let put t key value = put_s t (session t) key value
+  let delete t key = delete_s t (session t) key
+
   (* One request, one timing record; the lookups are grouped by shard so
      each shard's bucket array is walked while hot. *)
-  let multi_get t keys =
-    let s = session t in
+  let multi_get_s t s keys =
     timed s St.Multi_get (fun () ->
         let out = Array.make (Array.length keys) None in
         let groups = Array.make (Array.length t.shards) [] in
@@ -188,6 +222,8 @@ module Make (S : Smr.Smr_intf.S) = struct
                   positions)
           groups;
         out)
+
+  let multi_get t keys = multi_get_s t (session t) keys
 
   (* Untimed bulk insert for prefill: routed like [put] but kept out of the
      latency histograms and the request count. *)
@@ -229,11 +265,19 @@ module Make (S : Smr.Smr_intf.S) = struct
     Mutex.unlock t.lock;
     let dead_sessions =
       List.length
-        (List.filter (fun s -> Atomic.get s.state <> session_live) sessions)
+        (List.filter
+           (fun s ->
+             let st = Atomic.get s.state in
+             st = session_dead || st = session_reaped)
+           sessions)
     in
     let counted =
       if degraded then
-        List.filter (fun s -> Atomic.get s.state = session_live) sessions
+        List.filter
+          (fun s ->
+            let st = Atomic.get s.state in
+            st = session_live || st = session_detached)
+          sessions
       else sessions
     in
     let total_ops =

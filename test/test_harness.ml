@@ -42,6 +42,8 @@ let sample_result : Bench_types.result =
     ops = 1000;
     wall = 2.0;
     throughput_mops = 0.5;
+    offered_rps = 750000.0;
+    achieved_rps = 500000.0;
     peak_unreclaimed = 42;
     avg_unreclaimed = 21.5;
     peak_live = 99;
@@ -56,6 +58,8 @@ let test_metric_of_name_known () =
   let expected =
     [
       ("throughput", 0.5);
+      ("offered-rps", 750000.0);
+      ("achieved-rps", 500000.0);
       ("peak-unreclaimed", 42.0);
       ("avg-unreclaimed", 21.5);
       ("peak-live", 99.0);
@@ -81,8 +85,10 @@ let test_metric_of_name_unknown () =
 let test_collector_rows () =
   Bench_harness.Collector.reset ();
   Bench_harness.Collector.set_experiment "unit";
-  Bench_harness.Collector.add ~ds:"HashMap" ~scheme:"HP++" ~threads:2
-    ~key_range:1024 ~workload:"read-write" sample_result;
+  Bench_harness.Collector.add
+    ~extra:[ ("note", Service.Json.String "unit-extra") ]
+    ~ds:"HashMap" ~scheme:"HP++" ~threads:2 ~key_range:1024
+    ~workload:"read-write" sample_result;
   let json = Service.Json.to_string (Bench_harness.Collector.to_json ()) in
   List.iter
     (fun needle ->
@@ -99,7 +105,10 @@ let test_collector_rows () =
       "\"ds\":\"HashMap\"";
       "\"scheme\":\"HP++\"";
       "\"throughput_mops\":0.5";
+      "\"offered_rps\":750000";
+      "\"achieved_rps\":500000";
       "\"protection_failures\":3";
+      "\"note\":\"unit-extra\"";
     ];
   Bench_harness.Collector.reset ()
 
