@@ -19,6 +19,10 @@ module Retire_bag = Smr.Retire_bag
 module Domain_pool = Smr_core.Domain_pool
 module Collector = Bench_harness.Collector
 module Bench_types = Bench_harness.Bench_types
+module Histogram = Service.Histogram
+module Json = Service.Json
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
 (* --- Measured-legacy replicas of the seed hot path ----------------------- *)
 
@@ -156,39 +160,68 @@ let result_of ~ops ~wall ?(stats : Stats.t option) () : Bench_types.result =
       (match stats with Some s -> Stats.retired_total s | None -> 0);
   }
 
-let report ~ds ~scheme ~threads ~key_range r =
-  Collector.add ~ds ~scheme ~threads ~key_range ~workload:"hotpath" r;
+let report ?extra ?(workload = "hotpath") ~ds ~scheme ~threads ~key_range r =
+  Collector.add ?extra ~ds ~scheme ~threads ~key_range ~workload r;
   Printf.printf "  %-14s %-22s threads=%d n=%-6d  %8.3f Mops/s\n%!" ds scheme
     threads key_range r.Bench_types.throughput_mops
+
+(* Per-op latency columns appended to the row's JSON (satellite of the
+   async-reclamation PR: the throughput tables hide the tail that the
+   background collector exists to shave). *)
+let lat_extra ~mode (s : Histogram.summary) =
+  [
+    ("mode", Json.String mode);
+    ("lat_p50_ns", Json.Int s.Histogram.p50);
+    ("lat_p99_ns", Json.Int s.Histogram.p99);
+    ("lat_p999_ns", Json.Int s.Histogram.p999);
+    ("lat_mean_ns", Json.Float s.Histogram.mean);
+    ("lat_max_ns", Json.Int s.Histogram.max);
+  ]
+
+let print_lat scheme (s : Histogram.summary) =
+  Printf.printf
+    "    %-22s latency p50=%dns p99=%dns p999=%dns max=%dns\n%!" scheme
+    s.Histogram.p50 s.Histogram.p99 s.Histogram.p999 s.Histogram.max
 
 (* --- 1. retire→reclaim throughput per scheme ----------------------------- *)
 
 module Retire_loop (S : Smr.Smr_intf.S) = struct
   (* Allocate-and-retire as fast as possible: every iteration pays the
      alloc, stats and retire costs, and every reclaim_threshold-th pays a
-     full reclaim pass. No data structure in the way. *)
-  let run ~threads ~duration =
-    let t = S.create () in
+     full reclaim pass (inline mode) or a bag handoff (async mode). No data
+     structure in the way. Each op is clocked individually into a
+     per-domain histogram — the clock overhead is uniform across schemes
+     and modes, and the tail is the whole point: inline reclaim spikes at
+     p99/p999 are what the background collector exists to shave. *)
+  let run ?(config = Smr.Smr_intf.default_config) ~threads ~duration () =
+    let t = S.create ~config () in
     let stats = S.stats t in
-    let counts =
+    let outs =
       Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
           let h = S.register t in
+          let hist = Histogram.create () in
           let n = ref 0 in
           while not (stop ()) do
             for _ = 1 to 64 do
+              let t0 = now_ns () in
               let hdr = Mem.make stats in
               S.crit_enter h;
               S.retire h hdr;
-              S.crit_exit h
+              S.crit_exit h;
+              Histogram.record hist (now_ns () - t0)
             done;
             n := !n + 64
           done;
           S.flush h;
           S.unregister h;
-          !n)
+          (!n, hist))
     in
-    let ops = Array.fold_left ( + ) 0 counts in
-    (ops, stats)
+    S.shutdown t;
+    let ops = Array.fold_left (fun acc (n, _) -> acc + n) 0 outs in
+    let hist =
+      Histogram.merge (Array.to_list (Array.map snd outs))
+    in
+    (ops, stats, hist)
 end
 
 module Hp_loop = Retire_loop (Hp)
@@ -200,45 +233,70 @@ module Rc_loop = Retire_loop (Rc)
 let legacy_retire_loop ~threads ~duration =
   let stats = Legacy_stats.create () in
   let registry = Slots.create () in
-  let counts =
+  let outs =
     Domain_pool.run_timed ~n:threads ~duration (fun _ ~stop ->
         let local = Slots.register registry in
         let h = Legacy_hp.make ~registry ~stats in
+        let hist = Histogram.create () in
         let n = ref 0 in
         while not (stop ()) do
           for _ = 1 to 64 do
-            Legacy_hp.retire h (Legacy_alloc.make stats)
+            let t0 = now_ns () in
+            Legacy_hp.retire h (Legacy_alloc.make stats);
+            Histogram.record hist (now_ns () - t0)
           done;
           n := !n + 64
         done;
         Legacy_hp.reclaim h;
         ignore local;
-        !n)
+        (!n, hist))
   in
-  Array.fold_left ( + ) 0 counts
+  let ops = Array.fold_left (fun acc (n, _) -> acc + n) 0 outs in
+  (ops, Histogram.merge (Array.to_list (Array.map snd outs)))
+
+(* Paired rows per scheme: the inline baseline ([workload = "hotpath"]) and
+   the asynchronous pipeline ([workload = "hotpath-async"]) over the
+   identical loop, so the JSON carries the p99 comparison the
+   collector-smoke CI job gates on. The async rows use a short (2-bag)
+   ring: handed-off bags are capped at half the baseline by the adaptive
+   policy and a starved ring is stolen back into the mutator's own
+   baseline scans, so worst-case garbage (own bag + stolen ring, 128 +
+   2*64) stays within the epoch schemes' inline envelope while the common
+   case sheds the snapshot+scan from the mutator path entirely. *)
+let async_config =
+  { Smr.Smr_intf.default_config with async_reclaim = true; handoff_capacity = 2 }
 
 let retire_reclaim_bench ~threads ~duration =
   let schemes =
     [
-      ("HP", fun () -> Hp_loop.run ~threads ~duration);
-      ("HP++", fun () -> Hpp_loop.run ~threads ~duration);
-      ("EBR", fun () -> Ebr_loop.run ~threads ~duration);
-      ("PEBR", fun () -> Pebr_loop.run ~threads ~duration);
-      ("RC", fun () -> Rc_loop.run ~threads ~duration);
+      ("HP", fun config -> Hp_loop.run ~config ~threads ~duration ());
+      ("HP++", fun config -> Hpp_loop.run ~config ~threads ~duration ());
+      ("EBR", fun config -> Ebr_loop.run ~config ~threads ~duration ());
+      ("PEBR", fun config -> Pebr_loop.run ~config ~threads ~duration ());
+      ("RC", fun config -> Rc_loop.run ~config ~threads ~duration ());
     ]
   in
+  let one ~mode ~workload config (name, f) =
+    let t0 = Unix.gettimeofday () in
+    let ops, stats, hist = f config in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s = Histogram.summary hist in
+    report
+      ~extra:(lat_extra ~mode s)
+      ~workload ~ds:"retire-reclaim" ~scheme:name ~threads ~key_range:0
+      (result_of ~ops ~wall ~stats ());
+    print_lat name s
+  in
   List.iter
-    (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
-      let ops, stats = f () in
-      let wall = Unix.gettimeofday () -. t0 in
-      report ~ds:"retire-reclaim" ~scheme:name ~threads ~key_range:0
-        (result_of ~ops ~wall ~stats ()))
+    (one ~mode:"inline" ~workload:"hotpath" Smr.Smr_intf.default_config)
     schemes;
+  List.iter (one ~mode:"async" ~workload:"hotpath-async" async_config) schemes;
   let t0 = Unix.gettimeofday () in
-  let ops = legacy_retire_loop ~threads ~duration in
+  let ops, hist = legacy_retire_loop ~threads ~duration in
   let wall = Unix.gettimeofday () -. t0 in
-  report ~ds:"retire-reclaim" ~scheme:"HP/legacy-seed" ~threads ~key_range:0
+  report
+    ~extra:(lat_extra ~mode:"inline" (Histogram.summary hist))
+    ~ds:"retire-reclaim" ~scheme:"HP/legacy-seed" ~threads ~key_range:0
     (result_of ~ops ~wall ())
 
 (* --- 2. hazard-scan cost vs registered-handle count ---------------------- *)
@@ -386,13 +444,13 @@ let traced_retire_bench ~threads ~duration =
   List.iter
     (fun (name, f) ->
       let t0 = Unix.gettimeofday () in
-      let ops, stats = f () in
+      let ops, stats, _ = f () in
       let wall = Unix.gettimeofday () -. t0 in
       report ~ds:"retire-reclaim-traced" ~scheme:name ~threads ~key_range:0
         (result_of ~ops ~wall ~stats ()))
     [
-      ("HP", fun () -> Hp_loop.run ~threads ~duration);
-      ("HP++", fun () -> Hpp_loop.run ~threads ~duration);
+      ("HP", fun () -> Hp_loop.run ~threads ~duration ());
+      ("HP++", fun () -> Hpp_loop.run ~threads ~duration ());
     ];
   Trace.disable ();
   Trace.reset ()
@@ -423,8 +481,13 @@ let run ~threads_list ~duration =
       traced_retire_bench ~threads ~duration)
     threads_list;
   List.iter (fun handles -> scan_bench ~handles ~duration) [ 1; 4; 16; 64 ];
-  (* A final guarded retire run with stats retained for the anomaly gate. *)
-  let _, hp_stats = Hp_loop.run ~threads:2 ~duration:(duration /. 2.) in
-  let _, hpp_stats = Hpp_loop.run ~threads:2 ~duration:(duration /. 2.) in
-  check_anomalies [ ("HP", hp_stats); ("HP++", hpp_stats) ];
+  (* A final guarded retire run with stats retained for the anomaly gate —
+     once inline, once through the async pipeline. *)
+  let _, hp_stats, _ = Hp_loop.run ~threads:2 ~duration:(duration /. 2.) () in
+  let _, hpp_stats, _ = Hpp_loop.run ~threads:2 ~duration:(duration /. 2.) () in
+  let _, hp_async_stats, _ =
+    Hp_loop.run ~config:async_config ~threads:2 ~duration:(duration /. 2.) ()
+  in
+  check_anomalies
+    [ ("HP", hp_stats); ("HP++", hpp_stats); ("HP/async", hp_async_stats) ];
   print_endline "hotpath: no UAF / protection-failure anomalies"

@@ -38,6 +38,7 @@ type params = {
   shards : int;
   queue_bound : int;
   prefill : int;
+  async : bool; (* in-process servers run a background collector domain *)
   fault_seed : int option;
   fault_release : float;
 }
@@ -115,8 +116,13 @@ module Drive (S : Smr.Smr_intf.S) = struct
         (Printf.sprintf "netkv-%d-%s-%.0f.sock" (Unix.getpid ()) S.name rate)
     in
     let addr = Net.Addr.Unix_sock path in
+    let config =
+      if p.async then
+        { Smr.Smr_intf.default_config with async_reclaim = true }
+      else Smr.Smr_intf.default_config
+    in
     let srv =
-      Srv.start ~reactors:p.reactors ~queue_bound:p.queue_bound
+      Srv.start ~reactors:p.reactors ~queue_bound:p.queue_bound ~config
         ~shards:p.shards [ addr ]
     in
     Fun.protect
@@ -129,7 +135,7 @@ module Drive (S : Smr.Smr_intf.S) = struct
         let stats = S.stats (Srv.Kv.scheme (Srv.kv srv)) in
         let c = Srv.counters srv in
         {
-          b_scheme = S.name;
+          b_scheme = (if p.async then S.name ^ "+async" else S.name);
           rate;
           res;
           result = to_result ~stats:(Some stats) res;
@@ -320,6 +326,14 @@ let queue_bound_arg =
   let doc = "Per-session request-queue bound." in
   Arg.(value & opt int 64 & info [ "queue-bound" ] ~doc)
 
+let async_arg =
+  let doc =
+    "In-process servers hand full retire bags to a background collector \
+     domain instead of scanning inline (sets $(b,async_reclaim) in the \
+     scheme config; cells are labelled $(i,SCHEME+async))."
+  in
+  Arg.(value & flag & info [ "async-reclaim" ] ~doc)
+
 let fault_seed_arg =
   let doc =
     "Arm a seeded client-side fault (Net_read/Net_write, kill or stall) \
@@ -340,7 +354,8 @@ let split_commas s =
   |> List.filter (fun x -> x <> "")
 
 let main schemes rates connect conns duration drain seed keys read_pct dist
-    theta prefill reactors shards queue_bound fault_seed fault_release json =
+    theta prefill reactors shards queue_bound async fault_seed fault_release
+    json =
   let p =
     {
       conns;
@@ -355,6 +370,7 @@ let main schemes rates connect conns duration drain seed keys read_pct dist
       shards;
       queue_bound;
       prefill;
+      async;
       fault_seed;
       fault_release;
     }
@@ -362,8 +378,9 @@ let main schemes rates connect conns duration drain seed keys read_pct dist
   let rates = List.map float_of_string (split_commas rates) in
   Printf.printf
     "netkv open-loop bench: %d conn(s), %.2fs/cell + %.2fs drain, %d keys \
-     (%s), %d%% reads, prefill %d, seed %#x\n%!"
-    conns duration drain keys dist read_pct prefill seed;
+     (%s), %d%% reads, prefill %d, seed %#x, reclaim=%s\n%!"
+    conns duration drain keys dist read_pct prefill seed
+    (if async then "async" else "inline");
   Bench_harness.Collector.set_experiment "netkv-openloop";
   let cells =
     match connect with
@@ -405,6 +422,7 @@ let cmd =
       const main $ schemes_arg $ rates_arg $ connect_arg $ conns_arg
       $ duration_arg $ drain_arg $ seed_arg $ keys_arg $ read_pct_arg
       $ dist_arg $ theta_arg $ prefill_arg $ reactors_arg $ shards_arg
-      $ queue_bound_arg $ fault_seed_arg $ fault_release_arg $ json_arg)
+      $ queue_bound_arg $ async_arg $ fault_seed_arg $ fault_release_arg
+      $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,7 @@ type params = {
   reactors : int;
   queue_bound : int;
   duration : float; (* <= 0.0: run until a signal *)
+  async : bool; (* background collector domain behind the store *)
   trace_raw : string option;
   trace_depth : int;
 }
@@ -33,12 +34,21 @@ module Run (S : Smr.Smr_intf.S) = struct
       Trace.set_clock (fun () -> Int64.to_int (Monotonic_clock.now ()));
       Trace.enable ~capacity:p.trace_depth ()
     end;
+    let config =
+      if p.async then
+        { Smr.Smr_intf.default_config with async_reclaim = true }
+      else Smr.Smr_intf.default_config
+    in
     let srv =
-      Srv.start ~reactors:p.reactors ~queue_bound:p.queue_bound
+      Srv.start ~reactors:p.reactors ~queue_bound:p.queue_bound ~config
         ~shards:p.shards p.addrs
     in
-    Printf.printf "netkv server: scheme=%s shards=%d reactors=%d listening on %s\n%!"
+    Printf.printf
+      "netkv server: scheme=%s shards=%d reactors=%d reclaim=%s listening on \
+       %s\n\
+       %!"
       S.name p.shards p.reactors
+      (if p.async then "async" else "inline")
       (String.concat ", " (List.map Net.Addr.to_string p.addrs));
     let stop = Atomic.make false in
     let on_signal _ = Atomic.set stop true in
@@ -136,6 +146,13 @@ let duration_arg =
   let doc = "Seconds to serve; 0 means until SIGTERM/SIGINT." in
   Arg.(value & opt float 0.0 & info [ "duration" ] ~doc)
 
+let async_arg =
+  let doc =
+    "Hand full retire bags to a background collector domain instead of \
+     scanning inline (sets $(b,async_reclaim) in the scheme config)."
+  in
+  Arg.(value & flag & info [ "async-reclaim" ] ~doc)
+
 let trace_raw_arg =
   let doc =
     "Record SMR events, write the raw trace (the format trace_check.exe \
@@ -147,7 +164,7 @@ let trace_depth_arg =
   let doc = "Trace ring capacity per domain, in events." in
   Arg.(value & opt int 65536 & info [ "trace-depth" ] ~doc)
 
-let main listen scheme shards reactors queue_bound duration trace_raw
+let main listen scheme shards reactors queue_bound duration async trace_raw
     trace_depth =
   run
     {
@@ -157,6 +174,7 @@ let main listen scheme shards reactors queue_bound duration trace_raw
       reactors;
       queue_bound;
       duration;
+      async;
       trace_raw;
       trace_depth;
     }
@@ -167,6 +185,7 @@ let cmd =
     (Cmd.info "netkv-server" ~doc)
     Term.(
       const main $ listen_arg $ scheme_arg $ shards_arg $ reactors_arg
-      $ queue_bound_arg $ duration_arg $ trace_raw_arg $ trace_depth_arg)
+      $ queue_bound_arg $ duration_arg $ async_arg $ trace_raw_arg
+      $ trace_depth_arg)
 
 let () = exit (Cmd.eval cmd)

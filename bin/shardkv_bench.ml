@@ -31,6 +31,7 @@ type params = {
   dist_name : string;
   theta : float;
   prefill : float;
+  async : bool; (* hand retire bags to a background collector domain *)
 }
 
 type cell = {
@@ -59,7 +60,12 @@ module Drive (S : Smr.Smr_intf.S) = struct
     KV.detach kv
 
   let run_cell p ~shards =
-    let kv = KV.create ~shards () in
+    let config =
+      if p.async then
+        { Smr.Smr_intf.default_config with async_reclaim = true }
+      else Smr.Smr_intf.default_config
+    in
+    let kv = KV.create ~config ~shards () in
     prefill kv ~keys:p.keys ~ratio:p.prefill;
     let t0 = Unix.gettimeofday () in
     let _ =
@@ -88,6 +94,8 @@ module Drive (S : Smr.Smr_intf.S) = struct
     (* quiescent integrity sweep: raises on any reachable-but-freed node *)
     let keys_checked = KV.validate kv in
     let snap = KV.snapshot kv ~elapsed:wall in
+    (* stop the collector (if any) so queued bags cannot outlive the cell *)
+    KV.shutdown kv;
     let anomalies =
       if (not S.needs_protection) && snap.St.protection_failures > 0 then
         snap.St.protection_failures
@@ -216,6 +224,13 @@ let no_uaf_arg =
   let doc = "Disable the use-after-free detector during load." in
   Arg.(value & flag & info [ "no-uaf-check" ] ~doc)
 
+let async_arg =
+  let doc =
+    "Hand full retire bags to a background collector domain instead of \
+     scanning inline (sets $(b,async_reclaim) in the scheme config)."
+  in
+  Arg.(value & flag & info [ "async-reclaim" ] ~doc)
+
 let trace_arg =
   let doc =
     "Record SMR events and op spans, write a Chrome trace-event JSON \
@@ -252,7 +267,7 @@ let span_name =
     else "op" ^ string_of_int op
 
 let main shards domains duration keys read_pct mg_pct batch dist theta prefill
-    schemes json no_uaf trace trace_raw trace_depth metrics =
+    schemes json no_uaf async trace trace_raw trace_depth metrics =
   if no_uaf then Smr_core.Mem.set_checking false;
   let tracing = trace <> None || trace_raw <> None in
   if tracing then begin
@@ -281,15 +296,17 @@ let main shards domains duration keys read_pct mg_pct batch dist theta prefill
       dist_name = dist;
       theta;
       prefill;
+      async;
     }
   in
   let shard_counts = List.map int_of_string (split_commas shards) in
   let schemes = split_commas schemes in
   Printf.printf
     "shardkv closed-loop bench: %d domain(s), %.2fs/cell, %d keys (%s), \
-     %d%% reads (%d%% of them multi_get x%d), uaf-check=%b\n%!"
+     %d%% reads (%d%% of them multi_get x%d), uaf-check=%b, reclaim=%s\n%!"
     domains duration keys dist read_pct mg_pct batch
-    (Smr_core.Mem.checking ());
+    (Smr_core.Mem.checking ())
+    (if async then "async" else "inline");
   let cells =
     List.concat_map
       (fun scheme ->
@@ -322,6 +339,7 @@ let main shards domains duration keys read_pct mg_pct batch dist theta prefill
              ("dist", Json.String dist);
              ("theta", Json.Float theta);
              ("prefill", Json.Float prefill);
+             ("async_reclaim", Json.Bool async);
              ("cells", Json.List (List.map (cell_json p) cells));
            ]);
       Printf.printf "wrote %d cells to %s\n%!" (List.length cells) path)
@@ -374,7 +392,7 @@ let cmd =
     Term.(
       const main $ shards_arg $ domains_arg $ duration_arg $ keys_arg
       $ read_pct_arg $ mg_pct_arg $ batch_arg $ dist_arg $ theta_arg
-      $ prefill_arg $ schemes_arg $ json_arg $ no_uaf_arg $ trace_arg
-      $ trace_raw_arg $ trace_depth_arg $ metrics_arg)
+      $ prefill_arg $ schemes_arg $ json_arg $ no_uaf_arg $ async_arg
+      $ trace_arg $ trace_raw_arg $ trace_depth_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

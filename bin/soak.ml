@@ -13,9 +13,11 @@
 
    A recorded trace is replay-checked in-process before exit; protocol
    violations fail the soak. In chaos mode only the four scheme-defining
-   pairs run (hmlist/HP, hhslist/{HP++,EBR,PEBR}), each round ends with
-   crash recovery and a structural UAF sweep, and the same SEED replays
-   the same plans. *)
+   pairs run (hmlist/HP, hhslist/{HP++,EBR,PEBR}) — each once inline and
+   once with the asynchronous reclamation pipeline on, where the plan may
+   also stall or kill the background collector domain — every round ends
+   with crash recovery and a structural UAF sweep, and the same SEED
+   replays the same plans. *)
 
 module Pool = Smr_core.Domain_pool
 module Rng = Smr_core.Rng
@@ -188,10 +190,10 @@ module Chaos_drive
       val assert_reachable_not_freed : 'v t -> unit
     end) =
 struct
-  let run name ~seed ~salt ~points =
+  let run ?(config = Smr.Smr_intf.default_config) name ~seed ~salt ~points =
     progress.label <- name;
     for round = 1 to !rounds do
-      let scheme = S.create () in
+      let scheme = S.create ~config () in
       progress.stats <- Some (S.stats scheme);
       let t = L.create scheme in
       let plan =
@@ -231,6 +233,11 @@ struct
       Option.iter Domain.join watchdog;
       Fault.reset ();
       Array.iter (function Some h -> S.report_crashed h | None -> ()) victims;
+      (* Async rounds: stop the background collector (it may itself be the
+         round's kill/stall victim), salvaging queued and pending bags into
+         the orphanage; the survivor's flushes below adopt and free them.
+         Inline rounds: a no-op. *)
+      S.shutdown scheme;
       let survivor = S.register scheme in
       S.flush survivor;
       S.flush survivor;
@@ -266,7 +273,24 @@ let run_chaos seed =
     ~points:[ Fault.Retire; Fault.Crit; Fault.Reclaim ];
   let module C4 = Chaos_drive (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
   C4.run "hhslist/PEBR" ~seed ~salt:4
-    ~points:[ Fault.Retire; Fault.Protect; Fault.Crit; Fault.Reclaim ]
+    ~points:[ Fault.Retire; Fault.Protect; Fault.Crit; Fault.Reclaim ];
+  (* Asynchronous-pipeline rounds: same pairs with the background collector
+     on and [Fault.Collector] in the point set, so seeded plans also stall
+     the collector mid-pipeline (the ring fills, mutators fall back inline)
+     or kill its domain outright (queued bags must be salvaged on
+     shutdown). The residue bound at the end of each round is the same. *)
+  let async = { Smr.Smr_intf.default_config with async_reclaim = true } in
+  C1.run "hmlist/HP+async" ~config:async ~seed ~salt:5
+    ~points:[ Fault.Retire; Fault.Protect; Fault.Reclaim; Fault.Collector ];
+  let module C5 = Chaos_drive (Hp_plus) (Smr_ds.Hhslist.Make (Hp_plus)) in
+  C5.run "hhslist/HP+++async" ~config:async ~seed ~salt:6
+    ~points:[ Fault.Retire; Fault.Unlink; Fault.Reclaim; Fault.Collector ];
+  let module C6 = Chaos_drive (Ebr) (Smr_ds.Hhslist.Make (Ebr)) in
+  C6.run "hhslist/EBR+async" ~config:async ~seed ~salt:7
+    ~points:[ Fault.Retire; Fault.Crit; Fault.Collector ];
+  let module C7 = Chaos_drive (Pebr) (Smr_ds.Hhslist.Make (Pebr)) in
+  C7.run "hhslist/PEBR+async" ~config:async ~seed ~salt:8
+    ~points:[ Fault.Retire; Fault.Crit; Fault.Reclaim; Fault.Collector ]
 
 let run_standard () =
   let module M1 = Drive (Hp) (Smr_ds.Hmlist.Make (Hp)) in

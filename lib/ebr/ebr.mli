@@ -21,3 +21,7 @@ val defer : handle -> (unit -> unit) -> unit
 
 val global_epoch : t -> int
 val try_advance : t -> unit
+
+val collector_counters : t -> Smr.Collector.counters option
+(** Handoff/fallback/drain counters of the background collector, when
+    [config.async_reclaim] started one; [None] in inline mode. *)

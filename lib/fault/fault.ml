@@ -1,9 +1,19 @@
-type point = Retire | Protect | Unlink | Reclaim | Crit | Net_read | Net_write
+type point =
+  | Retire
+  | Protect
+  | Unlink
+  | Reclaim
+  | Crit
+  | Net_read
+  | Net_write
+  | Collector
+
 type action = Kill | Stall
 
 exception Killed of point
 
-let all_points = [ Retire; Protect; Unlink; Reclaim; Crit; Net_read; Net_write ]
+let all_points =
+  [ Retire; Protect; Unlink; Reclaim; Crit; Net_read; Net_write; Collector ]
 
 let point_name = function
   | Retire -> "retire"
@@ -13,6 +23,7 @@ let point_name = function
   | Crit -> "crit"
   | Net_read -> "net_read"
   | Net_write -> "net_write"
+  | Collector -> "collector"
 
 let action_name = function Kill -> "kill" | Stall -> "stall"
 

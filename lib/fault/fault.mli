@@ -40,6 +40,11 @@ type point =
   | Crit  (** inside an EBR/PEBR critical section *)
   | Net_read  (** client socket, before reading responses ([lib/net]) *)
   | Net_write  (** client socket, before sending a request ([lib/net]) *)
+  | Collector
+      (** top of the background collector's drain cycle ([lib/smr]): a
+          [Kill] crashes the collector domain (mutators must fall back to
+          inline reclamation), a [Stall] freezes it mid-pipeline with
+          handed-off bags pending *)
 
 type action = Kill | Stall
 

@@ -159,6 +159,9 @@ module Make (S : Smr.Smr_intf.S) = struct
       t.listeners;
     List.iter Addr.unlink_listener t.addrs;
     ignore (Kv.reap_dead t.kv);
+    (* stop the background collector first (async_reclaim mode): queued
+       bags are salvaged into the orphanage so the drain below adopts them *)
+    Kv.shutdown t.kv;
     (* drain what the final reap orphaned: one throwaway session forces a
        pass over the shared bags so post-stop residue reflects true leaks,
        not merely unflushed garbage *)

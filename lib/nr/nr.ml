@@ -39,6 +39,9 @@ let try_unlink t ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
 
 let flush _ = ()
 
+(* NR never reclaims, so there is no collector to stop. *)
+let shutdown _ = ()
+
 (* NR holds no per-handle state and never reclaims: a crashed handle leaves
    nothing to rescue (and leaks nothing beyond what NR already leaks). *)
 let report_crashed _ = ()

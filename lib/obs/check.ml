@@ -289,7 +289,12 @@ let run ?(complete_from = 0) (events : Trace.event array) =
                   u.open_protects <- u.open_protects - c
               | _ -> ())
             ustates
-      | Trace.Validation_fail | Trace.Epoch_advance | Trace.Reclaim_pass -> ())
+      | Trace.Validation_fail | Trace.Epoch_advance | Trace.Reclaim_pass
+      (* Collector pipeline events carry batch statistics, not lifecycle
+         transitions: the invariants they could violate (free-under-
+         protection, invalidate-before-free) are already enforced on the
+         Free/Invalidate events the drain cycle itself emits. *)
+      | Trace.Handoff | Trace.Drain | Trace.Adapt -> ())
     events;
   match !violations with
   | [] ->

@@ -12,6 +12,9 @@ type kind =
   | Step
   | Span
   | Crash
+  | Handoff
+  | Drain
+  | Adapt
 
 let kind_code = function
   | Alloc -> 0
@@ -27,6 +30,9 @@ let kind_code = function
   | Step -> 10
   | Span -> 11
   | Crash -> 12
+  | Handoff -> 13
+  | Drain -> 14
+  | Adapt -> 15
 
 let kind_of_code = function
   | 0 -> Alloc
@@ -42,6 +48,9 @@ let kind_of_code = function
   | 10 -> Step
   | 11 -> Span
   | 12 -> Crash
+  | 13 -> Handoff
+  | 14 -> Drain
+  | 15 -> Adapt
   | c -> invalid_arg ("Trace.kind_of_code: " ^ string_of_int c)
 
 let kind_name = function
@@ -58,6 +67,9 @@ let kind_name = function
   | Step -> "step"
   | Span -> "span"
   | Crash -> "crash"
+  | Handoff -> "handoff"
+  | Drain -> "drain"
+  | Adapt -> "adapt"
 
 type event = {
   seq : int;

@@ -36,6 +36,15 @@ type kind =
           id (the event itself is emitted by the surviving reporter).
           Emitted before the victim's protections are withdrawn, so in
           merged order every Free enabled by the reaping sorts after it. *)
+  | Handoff
+      (** a mutator handed a full retire bag to the background collector;
+          [a] = bag length, [b] = queue occupancy after the enqueue *)
+  | Drain
+      (** the collector finished one drain cycle; [a] = bags drained,
+          [b] = headers still pending after the cycle *)
+  | Adapt
+      (** the collector adjusted a scheme's adaptive reclaim threshold;
+          [a] = new threshold, [b] = pending garbage that drove it *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind

@@ -95,6 +95,11 @@ let try_unlink h ~frontier:_ ~do_unlink ~node_header ~invalidate:_ =
 
 let flush h = Ebr.flush h.ebr_h
 
+(* Asynchrony is inherited from the underlying EBR instance: when
+   [config.async_reclaim] is set, deferred decrements hand off through its
+   collector. *)
+let shutdown t = Ebr.shutdown t.ebr
+
 (* The deferred decrements live in the underlying EBR handle's bag; EBR's
    recovery (mark dead, orphan the bag) is exactly what RC needs. *)
 let report_crashed h = Ebr.report_crashed h.ebr_h

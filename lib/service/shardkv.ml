@@ -78,6 +78,11 @@ module Make (S : Smr.Smr_intf.S) = struct
   let scheme t = t.scheme
   let stats t = S.stats t.scheme
 
+  (* Stop the background collector (if [async_reclaim] started one) and
+     salvage any queued bags into the scheme's orphanage, so a final flush
+     observes every retired block. No-op in inline mode. *)
+  let shutdown t = S.shutdown t.scheme
+
   (* A different multiplier/shift pair than Hashmap's bucket hash, so shard
      choice and in-shard bucket choice use decorrelated bits. The multiply
      must be parenthesized: [lsr] binds tighter than [*] in OCaml, so

@@ -1,0 +1,279 @@
+(* Background collector domain with a bounded MPSC bag-handoff ring.
+
+   Mutators hand over *full retire bags* (one pointer through the ring, no
+   per-handoff allocation); the collector dequeues them in batches and runs
+   the scheme-supplied [drain] callback, which pays one hazard snapshot /
+   heavy fence for the whole batch. The ring is Vyukov's bounded MPMC
+   queue: per-cell sequence atomics arbitrate, so a full queue is detected
+   in one read and [offer] never blocks — the mutator falls back to inline
+   reclamation instead, which is what keeps peak garbage bounded when the
+   collector is stalled or dead (the [Fault.Collector] point injects
+   exactly those two states). The consumer side is genuinely
+   multi-consumer (head is CASed): a mutator already paying a baseline
+   inline scan may [steal] queued bags and amortize them into the same
+   snapshot, so queued garbage drains instead of aging when the collector
+   is starved of cpu.
+
+   Generic in the bag element: HP/HP++ hand [Mem.header Retire_bag.t]s, EBR
+   deferred-thunk bags, PEBR epoch-stamped ones. The module never looks
+   inside a bag; all scheme knowledge lives in the [drain] closure, which
+   runs only on the collector domain. *)
+
+type state = Running | Stopping | Stopped | Dead
+
+type 'bag t = {
+  (* ring: cell [i] is writable by a producer when seqs.(i) = pos, readable
+     by the consumer when seqs.(i) = pos + 1, recycled at pos + cap *)
+  seqs : int Atomic.t array;
+  slots : 'bag array;
+  tail : int Atomic.t; (* next enqueue position (producers CAS) *)
+  head : int Atomic.t; (* next dequeue position (consumers CAS) *)
+  state : state Atomic.t;
+  pool : 'bag list Atomic.t; (* empty drained bags, recycled to mutators *)
+  scratch : 'bag array; (* consumer-private batch buffer *)
+  drain : 'bag array -> int -> int;
+  dummy : 'bag;
+  handoffs : int Atomic.t;
+  fallbacks : int Atomic.t;
+  drains : int Atomic.t;
+  drained_bags : int Atomic.t;
+  steals : int Atomic.t;
+  (* smr-lint: allow R3 — written once right after Domain.spawn, before any other domain sees [t]; joined only by the (single) shutdown caller *)
+  mutable domain : unit Domain.t option;
+  (* smr-lint: allow R3 — touched only under shutdown's winner CAS, never concurrently *)
+  mutable joined : bool;
+}
+
+let capacity t = Array.length t.slots
+let occupancy t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let running t = Atomic.get t.state = Running
+let dead t = Atomic.get t.state = Dead
+
+(* Producer side. Returns false — caller reclaims inline — when the queue
+   is full or the collector is no longer accepting. *)
+let rec offer t bag =
+  if Atomic.get t.state <> Running then begin
+    Atomic.incr t.fallbacks;
+    false
+  end
+  else begin
+    let pos = Atomic.get t.tail in
+    let i = pos mod capacity t in
+    let s = Atomic.get t.seqs.(i) in
+    if s = pos then
+      if Atomic.compare_and_set t.tail pos (pos + 1) then begin
+        t.slots.(i) <- bag;
+        Atomic.set t.seqs.(i) (pos + 1);
+        Atomic.incr t.handoffs;
+        true
+      end
+      else offer t bag (* lost the cell race; retry *)
+    else if s < pos then begin
+      (* cell not yet recycled: ring is full *)
+      Atomic.incr t.fallbacks;
+      false
+    end
+    else offer t bag (* tail moved under us; retry *)
+  end
+
+(* Consumer side: the collector's drain loop, stealing mutators, and the
+   shutdown salvage all dequeue, so head is CASed — the winner owns cell
+   [i] exclusively until it recycles the sequence to [pos + capacity]. *)
+let rec dequeue t =
+  let pos = Atomic.get t.head in
+  let i = pos mod capacity t in
+  let s = Atomic.get t.seqs.(i) in
+  if s = pos + 1 then
+    if Atomic.compare_and_set t.head pos (pos + 1) then begin
+      let bag = t.slots.(i) in
+      t.slots.(i) <- t.dummy;
+      Atomic.set t.seqs.(i) (pos + capacity t);
+      Some bag
+    end
+    else dequeue t (* lost the cell race; retry *)
+  else if s <= pos then None (* empty (or a producer is mid-publish) *)
+  else dequeue t (* head moved under us; retry *)
+
+let dequeue_batch t =
+  let n = ref 0 in
+  let more = ref true in
+  while !more && !n < Array.length t.scratch do
+    match dequeue t with
+    | Some bag ->
+        t.scratch.(!n) <- bag;
+        incr n
+    | None -> more := false
+  done;
+  !n
+
+let rec pool_push t bag =
+  let cur = Atomic.get t.pool in
+  if not (Atomic.compare_and_set t.pool cur (bag :: cur)) then pool_push t bag
+
+let rec take_bag t =
+  match Atomic.get t.pool with
+  | [] -> None
+  | bag :: rest as cur ->
+      if Atomic.compare_and_set t.pool cur rest then Some bag else take_bag t
+
+let note_fallback t = Atomic.incr t.fallbacks
+
+(* A mutator about to pay a baseline inline scan anyway folds queued bags
+   into that same snapshot. Works on a dead collector too — its queue
+   would otherwise age until shutdown. *)
+let steal t =
+  match dequeue t with
+  | Some _ as r ->
+      Atomic.incr t.steals;
+      r
+  | None -> None
+
+let recycle = pool_push
+
+type counters = {
+  handoffs : int;
+  fallbacks : int;
+  drains : int;
+  drained_bags : int;
+  steals : int;
+}
+
+let counters (t : _ t) =
+  {
+    handoffs = Atomic.get t.handoffs;
+    fallbacks = Atomic.get t.fallbacks;
+    drains = Atomic.get t.drains;
+    drained_bags = Atomic.get t.drained_bags;
+    steals = Atomic.get t.steals;
+  }
+
+(* Run one drain cycle over [n] dequeued bags, then recycle the (now empty)
+   bags to the mutator pool. Returns the scheme's still-pending count. *)
+let cycle t n =
+  let pending = t.drain t.scratch n in
+  for i = 0 to n - 1 do
+    pool_push t t.scratch.(i);
+    t.scratch.(i) <- t.dummy
+  done;
+  Atomic.incr t.drains;
+  if n > 0 then ignore (Atomic.fetch_and_add t.drained_bags n);
+  pending
+
+let run t =
+  let pending = ref 0 in
+  let idle = ref 0 in
+  (try
+     let live = ref true in
+     while !live do
+       match Atomic.get t.state with
+       | Stopping | Stopped | Dead ->
+           (* Final drain: empty the ring, then a fixed number of empty
+              cycles so epoch-based schemes can push their grace periods
+              forward. Bounded on purpose — blocks a live mutator still
+              protects stay in the scheme's pending bag, and the scheme's
+              shutdown donates them to the orphanage. *)
+           let n = dequeue_batch t in
+           if n > 0 then pending := cycle t n
+           else begin
+             for _ = 1 to 3 do
+               pending := cycle t 0
+             done;
+             live := false
+           end
+       | Running ->
+           if Fault.enabled () then Fault.hit Fault.Collector;
+           let n = dequeue_batch t in
+           if n > 0 then begin
+             pending := cycle t n;
+             idle := 0
+           end
+           else if !pending > 0 then begin
+             (* Empty retry over leftover garbage: it is waiting on external
+                state (hazards withdrawn, epochs advanced), so pace the
+                rescans instead of spinning snapshots/epoch advances. *)
+             pending := cycle t 0;
+             Unix.sleepf 1e-4
+           end
+           else begin
+             incr idle;
+             if !idle < 256 then Domain.cpu_relax ()
+             else begin
+               (* park briefly instead of burning the core; 200us keeps
+                  drain latency far below any retire-burst timescale *)
+               idle := 0;
+               Unix.sleepf 2e-4
+             end
+           end
+     done;
+     Atomic.set t.state Stopped
+   with _ ->
+     (* Fault.Killed (the chaos collector crash) or any drain exception:
+        leave queued bags where they are for shutdown to salvage, flip to
+        Dead so every subsequent offer fails fast into the inline path. *)
+     Atomic.set t.state Dead)
+
+let spawn ?(capacity = 8) ~drain ~dummy () =
+  if capacity < 1 then invalid_arg "Collector.spawn: capacity";
+  (* The sequence protocol needs >= 2 cells: with one cell, "readable at
+     pos" (seq = pos + 1) and "writable at pos + 1" (seq = pos + 1) are the
+     same state, so a second producer would overwrite the unconsumed bag
+     and its retired blocks would leak. *)
+  let capacity = max 2 capacity in
+  let t =
+    {
+      seqs = Array.init capacity Atomic.make;
+      slots = Array.make capacity dummy;
+      tail = Atomic.make 0;
+      head = Atomic.make 0;
+      state = Atomic.make Running;
+      pool = Atomic.make [];
+      scratch = Array.make capacity dummy;
+      drain;
+      dummy;
+      handoffs = Atomic.make 0;
+      fallbacks = Atomic.make 0;
+      drains = Atomic.make 0;
+      drained_bags = Atomic.make 0;
+      steals = Atomic.make 0;
+      domain = None;
+      joined = false;
+    }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> run t));
+  t
+
+let shutdown t ~recover =
+  (match Atomic.get t.state with
+  | Running -> ignore (Atomic.compare_and_set t.state Running Stopping)
+  | Stopping | Stopped | Dead -> ());
+  (match t.domain with
+  | Some d when not t.joined ->
+      t.joined <- true;
+      Domain.join d
+  | _ -> ());
+  (* After the join the ring has a single owner again: salvage anything a
+     dead collector left queued. *)
+  let rec drain_leftovers () =
+    match dequeue t with
+    | Some bag ->
+        recover bag;
+        drain_leftovers ()
+    | None -> ()
+  in
+  drain_leftovers ()
+
+(* Adaptive threshold policy, kept pure so the clamps are unit-testable:
+   halve under pressure (observed pending garbage more than twice the
+   current threshold — scans are not keeping up), double when garbage is
+   low (scans cost a snapshot regardless of batch size, so bigger batches
+   amortize better), hold otherwise. Clamped to [lo, hi] so adaptation can
+   never starve reclamation entirely nor thrash on tiny bags. *)
+let adapt_threshold ~cur ~lo ~hi ~pending =
+  let lo = max 1 lo in
+  let hi = max lo hi in
+  let next =
+    if pending > 2 * cur then cur / 2
+    else if pending < cur / 2 then cur * 2
+    else cur
+  in
+  min hi (max lo next)

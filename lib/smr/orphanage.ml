@@ -1,17 +1,24 @@
-type t = Smr_core.Mem.header list Atomic.t
+(* A lock-free stack of donated retire bags. Polymorphic in the element so
+   every scheme's bag type fits (HP/HP++ carry [Mem.header], EBR carries
+   deferred thunks, PEBR carries epoch-stamped headers); donors hand over
+   the whole bag, so crash recovery, unregistration and collector shutdown
+   share one representation and nothing is re-consed into lists. *)
+
+type 'a t = 'a Retire_bag.t list Atomic.t
 
 let create () = Atomic.make []
 
-let rec add t hdrs =
-  match hdrs with
-  | [] -> ()
-  | _ ->
-      let cur = Atomic.get t in
-      if not (Atomic.compare_and_set t cur (List.rev_append hdrs cur)) then
-        add t hdrs
+let rec add t bag =
+  if not (Retire_bag.is_empty bag) then begin
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (bag :: cur)) then add t bag
+  end
 
 let rec pop_all t =
   let cur = Atomic.get t in
   match cur with
   | [] -> []
   | _ -> if Atomic.compare_and_set t cur [] then cur else pop_all t
+
+let adopt_into t ~dst =
+  List.iter (fun bag -> Retire_bag.transfer ~src:bag ~dst) (pop_all t)

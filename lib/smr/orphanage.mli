@@ -1,9 +1,20 @@
-(** A shared bag where unregistering handles leave blocks that are retired
-    but still protected by others; any later reclamation pass adopts them.
-    (The paper's global [retireds: ConcurrentStack<void*>].) *)
+(** A shared stack of donated retire bags: unregistering handles, crash
+    recovery and collector shutdown leave blocks that are retired but still
+    possibly protected by others; any later reclamation pass adopts them.
+    (The paper's global [retireds: ConcurrentStack<void*>], carrying whole
+    {!Retire_bag}s instead of per-donation lists.) *)
 
-type t
+type 'a t
 
-val create : unit -> t
-val add : t -> Smr_core.Mem.header list -> unit
-val pop_all : t -> Smr_core.Mem.header list
+val create : unit -> 'a t
+
+val add : 'a t -> 'a Retire_bag.t -> unit
+(** Donate a whole bag; the donor must not touch it afterwards. Empty bags
+    are dropped without being pushed. *)
+
+val pop_all : 'a t -> 'a Retire_bag.t list
+(** Atomically take every donated bag. *)
+
+val adopt_into : 'a t -> dst:'a Retire_bag.t -> unit
+(** {!pop_all}, folding each donated bag into [dst] via
+    {!Retire_bag.transfer}. *)

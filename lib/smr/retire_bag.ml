@@ -13,13 +13,21 @@ let create ?(capacity = 64) dummy =
 let length t = t.len
 let is_empty t = t.len = 0
 
-let push t x =
-  let n = Array.length t.data in
-  if t.len = n then begin
-    let bigger = Array.make (2 * n) t.dummy in
-    Array.blit t.data 0 bigger 0 n;
+(* Grow to hold at least [n] elements (amortized doubling). *)
+let ensure t n =
+  let cap = Array.length t.data in
+  if n > cap then begin
+    let c = ref cap in
+    while !c < n do
+      c := 2 * !c
+    done;
+    let bigger = Array.make !c t.dummy in
+    Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
-  end;
+  end
+
+let push t x =
+  ensure t (t.len + 1);
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
@@ -54,24 +62,38 @@ let to_list t =
   let rec build i acc = if i < 0 then acc else build (i - 1) (t.data.(i) :: acc) in
   build (t.len - 1) []
 
-(* Crash recovery: collect the distinct, still-relevant entries of a bag
-   whose owner may have died in the middle of [filter_in_place]. A mid-pass
-   kill leaves a compacted prefix, then a window of already-processed
-   entries the compaction has not yet overwritten — some freed, some stale
-   duplicates of kept survivors — then the unprocessed tail, with [len]
-   unchanged. Adopting such a bag verbatim double-frees: the salvager must
-   drop entries [skip] rejects (freed blocks, phantom filler) and dedup by
-   [uid]. Empties the bag. *)
+(* Bulk append [src] into [dst] and empty [src]: one capacity check, one
+   blit. This is both the orphan-adoption path (donated bags fold into the
+   adopter's) and the collector's pending-accumulation path, so it must not
+   allocate per element. *)
+let transfer ~src ~dst =
+  if src.len > 0 then begin
+    ensure dst (dst.len + src.len);
+    Array.blit src.data 0 dst.data dst.len src.len;
+    dst.len <- dst.len + src.len;
+    clear src
+  end
+
+(* Crash recovery: compact the bag down to its distinct, still-relevant
+   entries in place. A mid-[filter_in_place] kill leaves a compacted
+   prefix, then a window of already-processed entries the compaction has
+   not yet overwritten — some freed, some stale duplicates of kept
+   survivors — then the unprocessed tail, with [len] unchanged. Adopting
+   such a bag verbatim double-frees: the salvager drops entries [skip]
+   rejects (freed blocks, phantom filler) and dedups by [uid], leaving the
+   survivors in the bag so it can be donated whole (no re-consing into a
+   list on the recovery path). *)
 let salvage ~uid ~skip t =
   let seen = Hashtbl.create (max 16 t.len) in
-  let out = ref [] in
+  let kept = ref 0 in
   for i = 0 to t.len - 1 do
     let x = t.data.(i) in
     let u = uid x in
     if (not (skip x)) && not (Hashtbl.mem seen u) then begin
       Hashtbl.add seen u ();
-      out := x :: !out
+      t.data.(!kept) <- x;
+      incr kept
     end
   done;
-  clear t;
-  List.rev !out
+  Array.fill t.data !kept (t.len - !kept) t.dummy;
+  t.len <- !kept

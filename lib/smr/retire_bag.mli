@@ -25,13 +25,18 @@ val filter_in_place : ('a -> bool) -> 'a t -> unit
 (** Keep only elements satisfying the predicate, preserving order. *)
 
 val to_list : 'a t -> 'a list
-(** Cold-path conversion (handle unregistration hands leftovers to the
-    orphanage as a list). *)
+(** Cold-path conversion for tests and diagnostics. *)
 
-val salvage : uid:('a -> int) -> skip:('a -> bool) -> 'a t -> 'a list
-(** Crash recovery: the distinct ([uid]-deduplicated) entries not rejected
-    by [skip], in bag order; empties the bag. A bag whose owner died
-    mid-[filter_in_place] holds a torn state — compacted prefix, a window
-    of already-processed entries (freed blocks and stale duplicates of kept
-    survivors), unprocessed tail — that would double-free if adopted
-    verbatim; pass [skip] = "is freed or phantom". *)
+val transfer : src:'a t -> dst:'a t -> unit
+(** Append every element of [src] to [dst] (one blit, amortized growth) and
+    empty [src]. The orphan-adoption and collector-drain accumulation
+    primitive: bags move between owners without per-element consing. *)
+
+val salvage : uid:('a -> int) -> skip:('a -> bool) -> 'a t -> unit
+(** Crash recovery: compact the bag in place down to its distinct
+    ([uid]-deduplicated) entries not rejected by [skip], preserving order.
+    A bag whose owner died mid-[filter_in_place] holds a torn state —
+    compacted prefix, a window of already-processed entries (freed blocks
+    and stale duplicates of kept survivors), unprocessed tail — that would
+    double-free if adopted verbatim; pass [skip] = "is freed or phantom".
+    The survivors stay in the bag so it can be donated whole. *)

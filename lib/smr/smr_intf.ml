@@ -22,6 +22,15 @@ type config = {
       (** PEBR: memory-pressure multiplier — when a thread's retired bag
           exceeds [neutralize_lag * reclaim_threshold], the epoch is forced
           forward and lagging critical sections are neutralized *)
+  async_reclaim : bool;
+      (** Hand full retire bags to a background collector domain instead of
+          reclaiming inline; mutators fall back to the inline path when the
+          handoff queue is full or the collector has died. Off by default so
+          the paper-figure peak-garbage numbers stay reproducible. *)
+  handoff_capacity : int;
+      (** Bound of the mutator→collector bag queue (in bags). Small on
+          purpose: queued bags are unreclaimed garbage, so the bound is part
+          of the robustness story, not just a performance knob. *)
 }
 
 let default_config =
@@ -30,6 +39,8 @@ let default_config =
     invalidate_threshold = 32;
     epoched_fence = true;
     neutralize_lag = 2;
+    async_reclaim = false;
+    handoff_capacity = 8;
   }
 
 module type S = sig
@@ -125,6 +136,15 @@ module type S = sig
 
   val flush : handle -> unit
   (** Force pending invalidation and a reclamation pass. *)
+
+  val shutdown : t -> unit
+  (** Stop the background collector (when [config.async_reclaim] started
+      one), draining every handed-off bag first: after shutdown, blocks
+      queued for asynchronous reclamation are either freed or back in the
+      shared orphanage for inline passes to adopt. Idempotent; a no-op for
+      schemes (or configurations) with no collector. Call after the last
+      [unregister] — surviving handles keep working afterwards, falling
+      back to inline reclamation. *)
 
   val report_crashed : handle -> unit
   (** Crash recovery: a {e surviving} thread declares [handle]'s owner dead

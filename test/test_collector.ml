@@ -1,0 +1,391 @@
+(* Tests for the asynchronous reclamation pipeline: the bounded MPSC
+   handoff ring and collector domain (lib/smr/collector.ml), the adaptive
+   threshold policy, retire-bag growth/transfer/salvage, and the
+   scheme-level contracts — clean shutdown drains everything, a stalled or
+   dead collector degrades to inline reclamation with bounded garbage and
+   no lost or double-freed blocks. The fault plan is global, so every test
+   touching it resets on entry. *)
+
+module Mem = Smr_core.Mem
+module Stats = Smr_core.Stats
+module Pool = Smr_core.Domain_pool
+module Collector = Smr.Collector
+module Retire_bag = Smr.Retire_bag
+module Trace = Obs.Trace
+module Check = Obs.Check
+
+let base = Smr.Smr_intf.default_config
+
+(* --- adaptive threshold policy (pure) ----------------------------------- *)
+
+let test_adapt_threshold () =
+  let adapt = Collector.adapt_threshold in
+  Alcotest.(check int) "halve under pressure" 64
+    (adapt ~cur:128 ~lo:16 ~hi:1024 ~pending:300);
+  Alcotest.(check int) "double when garbage is low" 256
+    (adapt ~cur:128 ~lo:16 ~hi:1024 ~pending:10);
+  Alcotest.(check int) "hold inside the band" 128
+    (adapt ~cur:128 ~lo:16 ~hi:1024 ~pending:128);
+  Alcotest.(check int) "halving clamps at lo" 16
+    (adapt ~cur:20 ~lo:16 ~hi:1024 ~pending:1000);
+  Alcotest.(check int) "doubling clamps at hi" 1024
+    (adapt ~cur:1024 ~lo:16 ~hi:1024 ~pending:0);
+  (* degenerate bounds must never drive the threshold to zero (which would
+     retire-collect on every single retire, or worse, never) *)
+  Alcotest.(check int) "lo floor is 1" 1
+    (adapt ~cur:0 ~lo:0 ~hi:0 ~pending:100)
+
+(* --- retire bags: growth, transfer, in-place salvage --------------------- *)
+
+(* Pin: bags grow past their initial capacity. The adaptive threshold can
+   exceed the 2*reclaim_threshold a handle's bag was sized for, and a
+   fallback path can keep pushing into a full bag; neither may drop
+   entries. *)
+let test_bag_growth () =
+  let b = Retire_bag.create ~capacity:4 (-1) in
+  for i = 0 to 99 do
+    Retire_bag.push b i
+  done;
+  Alcotest.(check int) "grew past initial capacity" 100 (Retire_bag.length b);
+  Alcotest.(check int) "order preserved" 57 (Retire_bag.get b 57);
+  Retire_bag.clear b;
+  Alcotest.(check bool) "clear empties" true (Retire_bag.is_empty b)
+
+let test_bag_transfer () =
+  let src = Retire_bag.create ~capacity:2 (-1) in
+  let dst = Retire_bag.create ~capacity:2 (-1) in
+  List.iter (Retire_bag.push dst) [ 10; 11 ];
+  List.iter (Retire_bag.push src) [ 1; 2; 3; 4; 5 ];
+  Retire_bag.transfer ~src ~dst;
+  Alcotest.(check bool) "src emptied" true (Retire_bag.is_empty src);
+  Alcotest.(check (list int)) "dst appended in order" [ 10; 11; 1; 2; 3; 4; 5 ]
+    (Retire_bag.to_list dst);
+  (* transferring an empty bag is a no-op *)
+  Retire_bag.transfer ~src ~dst;
+  Alcotest.(check int) "no-op on empty src" 7 (Retire_bag.length dst)
+
+let test_bag_salvage_in_place () =
+  let stats = Stats.create () in
+  let a = Mem.make stats and b = Mem.make stats and c = Mem.make stats in
+  Mem.retire_mark a;
+  Mem.retire_mark b;
+  Mem.retire_mark c;
+  Mem.free_mark c;
+  let bag = Retire_bag.create Mem.phantom in
+  (* torn shape: compacted survivor, stale duplicate of it, a freed block,
+     and dummy filler exposed by a mid-filter death *)
+  List.iter (Retire_bag.push bag) [ a; b; a; c; Mem.phantom ];
+  Retire_bag.salvage
+    ~uid:Mem.uid
+    ~skip:(fun h -> Mem.uid h = Mem.phantom_uid || Mem.is_freed h)
+    bag;
+  Alcotest.(check (list int)) "dedup, drop freed and phantom, keep order"
+    [ Mem.uid a; Mem.uid b ]
+    (List.map Mem.uid (Retire_bag.to_list bag))
+
+(* --- the handoff ring and collector domain ------------------------------- *)
+
+let test_ring_basic () =
+  Fault.reset ();
+  let drained = Atomic.make 0 in
+  let mk () = Retire_bag.create ~capacity:4 0 in
+  let c =
+    Collector.spawn ~capacity:4
+      ~drain:(fun bags n ->
+        for i = 0 to n - 1 do
+          ignore (Atomic.fetch_and_add drained (Retire_bag.length bags.(i)));
+          Retire_bag.clear bags.(i)
+        done;
+        0)
+      ~dummy:(mk ()) ()
+  in
+  Alcotest.(check bool) "spawned running" true (Collector.running c);
+  Alcotest.(check int) "capacity as requested" 4 (Collector.capacity c);
+  (* one-cell rings cannot tell full from writable; pin the clamp *)
+  let tiny =
+    Collector.spawn ~capacity:1 ~drain:(fun _ _ -> 0) ~dummy:(mk ()) ()
+  in
+  Alcotest.(check int) "capacity 1 clamped to 2" 2 (Collector.capacity tiny);
+  Collector.shutdown tiny ~recover:ignore;
+  for i = 1 to 10 do
+    let b = match Collector.take_bag c with Some b -> b | None -> mk () in
+    Retire_bag.push b i;
+    (* the consumer is live, so a full ring is transient: spin until the
+       offer lands *)
+    while not (Collector.offer c b) do
+      Domain.cpu_relax ()
+    done
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get drained < 10 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "every element drained" 10 (Atomic.get drained);
+  Collector.shutdown c ~recover:(fun _ ->
+      Alcotest.fail "clean shutdown left bags queued");
+  Alcotest.(check bool) "stopped, not dead" false (Collector.dead c);
+  let k = Collector.counters c in
+  Alcotest.(check int) "handoffs counted" 10 k.Collector.handoffs;
+  Alcotest.(check bool) "drains counted" true (k.Collector.drains > 0);
+  Alcotest.(check int) "bags accounted" 10 k.Collector.drained_bags;
+  (* idempotent *)
+  Collector.shutdown c ~recover:(fun _ -> Alcotest.fail "second shutdown")
+
+(* A stalled collector: the ring fills, [offer] rejects without blocking,
+   and nothing handed over is lost — on release/shutdown every queued bag
+   is either drained or recovered. *)
+let test_ring_full_rejects_and_recovers () =
+  Fault.reset ();
+  let mk () = Retire_bag.create ~capacity:2 0 in
+  let drained = ref 0 and recovered = ref 0 in
+  let c =
+    Collector.spawn ~capacity:2
+      ~drain:(fun bags n ->
+        for i = 0 to n - 1 do
+          drained := !drained + Retire_bag.length bags.(i);
+          Retire_bag.clear bags.(i)
+        done;
+        0)
+      ~dummy:(mk ()) ()
+  in
+  Fault.arm ~point:Fault.Collector ~action:Fault.Stall ();
+  Fault.await_stalled ();
+  let offer_one v =
+    let b = mk () in
+    Retire_bag.push b v;
+    Collector.offer c b
+  in
+  Alcotest.(check bool) "first offer fits" true (offer_one 1);
+  Alcotest.(check bool) "second offer fits" true (offer_one 2);
+  Alcotest.(check bool) "third rejected: ring full" false (offer_one 3);
+  Alcotest.(check int) "occupancy at capacity" 2 (Collector.occupancy c);
+  let k = Collector.counters c in
+  Alcotest.(check int) "two handoffs" 2 k.Collector.handoffs;
+  Alcotest.(check int) "one fallback" 1 k.Collector.fallbacks;
+  Fault.release ();
+  Collector.shutdown c ~recover:(fun b ->
+      recovered := !recovered + Retire_bag.length b);
+  Alcotest.(check int) "nothing lost" 2 (!drained + !recovered);
+  Fault.reset ()
+
+(* --- HP: clean shutdown drains everything, trace-checker clean ----------- *)
+
+let test_hp_async_clean_shutdown () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 16; async_reclaim = true;
+      handoff_capacity = 4 }
+  in
+  Trace.enable ~capacity:(1 lsl 16) ();
+  let t = Hp.create ~config:cfg () in
+  ignore
+    (Pool.run ~n:3 (fun _ ->
+         let h = Hp.register t in
+         for _ = 1 to 500 do
+           Hp.retire h (Mem.make (Hp.stats t))
+         done;
+         Hp.flush h;
+         Hp.unregister h));
+  Hp.shutdown t;
+  (* the orphanage holds whatever shutdown donated; one surviving inline
+     pass adopts and frees it — no hazards remain *)
+  let survivor = Hp.register t in
+  Hp.flush survivor;
+  Alcotest.(check int) "zero residue after shutdown + survivor flush" 0
+    (Stats.unreclaimed (Hp.stats t));
+  Alcotest.(check int) "freed exactly what was allocated"
+    (Stats.allocated (Hp.stats t))
+    (Stats.freed (Hp.stats t));
+  Hp.unregister survivor;
+  Trace.disable ();
+  let snap = Trace.snapshot () in
+  Trace.reset ();
+  let count k =
+    Array.fold_left
+      (fun acc (e : Trace.event) -> if e.Trace.kind = k then acc + 1 else acc)
+      0 snap.Trace.events
+  in
+  Alcotest.(check bool) "handoffs traced" true (count Trace.Handoff > 0);
+  Alcotest.(check bool) "drain cycles traced" true (count Trace.Drain > 0);
+  (match Check.run_snapshot snap with
+  | Ok _ -> ()
+  | Error (v :: rest) ->
+      Alcotest.failf "async trace violation: %s (+%d more)"
+        (Format.asprintf "%a" Check.pp_violation v)
+        (List.length rest)
+  | Error [] -> assert false);
+  match Hp.collector_counters t with
+  | None -> Alcotest.fail "async HP has no collector"
+  | Some k ->
+      Alcotest.(check bool) "collector saw the handoffs" true
+        (k.Collector.handoffs > 0)
+
+(* --- HP: stalled collector degrades to bounded inline reclamation -------- *)
+
+let test_hp_stalled_collector_inline_fallback () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 8; async_reclaim = true;
+      handoff_capacity = 1 }
+  in
+  let t = Hp.create ~config:cfg () in
+  let h = Hp.register t in
+  Fault.arm ~point:Fault.Collector ~action:Fault.Stall ();
+  Fault.await_stalled ();
+  for _ = 1 to 200 do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  (match Hp.collector_counters t with
+  | None -> Alcotest.fail "async HP has no collector"
+  | Some k ->
+      (* the requested capacity of 1 is clamped to the 2-cell minimum; the
+         stalled ring fills, every further threshold crossing falls back
+         inline, and the baseline scans steal the queued bags back out —
+         so the ring cycles (handoffs keep landing) and no handed-off bag
+         ever waits on the stalled domain *)
+      Alcotest.(check bool) "handoffs landed" true (k.Collector.handoffs >= 2);
+      Alcotest.(check bool) "fallbacks counted" true (k.Collector.fallbacks > 0);
+      Alcotest.(check bool) "queued bags stolen into inline scans" true
+        (k.Collector.steals > 0);
+      Alcotest.(check int) "stall means the collector itself drained nothing"
+        0 k.Collector.drained_bags);
+  let peak = Stats.unreclaimed (Hp.stats t) in
+  if peak > 64 then
+    Alcotest.failf "garbage %d not bounded by the inline fallback" peak;
+  Fault.release ();
+  Hp.flush h;
+  Hp.unregister h;
+  Hp.shutdown t;
+  let survivor = Hp.register t in
+  Hp.flush survivor;
+  Alcotest.(check int) "drains to zero once released" 0
+    (Stats.unreclaimed (Hp.stats t));
+  Hp.unregister survivor;
+  Fault.reset ()
+
+(* --- HP: dead collector, queued bags salvaged, no double free ------------ *)
+
+let test_hp_collector_kill_salvage () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 8; async_reclaim = true;
+      handoff_capacity = 2 }
+  in
+  let t = Hp.create ~config:cfg () in
+  let h = Hp.register t in
+  Fault.arm ~point:Fault.Collector ~action:Fault.Kill ~after:3 ();
+  (* the collector hits the point on every loop iteration, so the kill
+     fires on its own; retire meanwhile to race handoffs against it *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Fault.fired ())) && Unix.gettimeofday () < deadline do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  Alcotest.(check bool) "collector killed" true (Fault.fired ());
+  for _ = 1 to 160 do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  (match Hp.collector_counters t with
+  | None -> Alcotest.fail "async HP has no collector"
+  | Some k ->
+      Alcotest.(check bool) "mutator fell back inline after the death" true
+        (k.Collector.fallbacks > 0));
+  Hp.flush h;
+  Hp.unregister h;
+  (* shutdown salvages anything the dead collector left queued or pending *)
+  Hp.shutdown t;
+  let survivor = Hp.register t in
+  Hp.flush survivor;
+  Alcotest.(check int) "all garbage salvaged and freed" 0
+    (Stats.unreclaimed (Hp.stats t));
+  Alcotest.(check int) "no block lost, none freed twice"
+    (Stats.allocated (Hp.stats t))
+    (Stats.freed (Hp.stats t));
+  Hp.unregister survivor;
+  Fault.reset ()
+
+(* --- every scheme: async smoke, multi-domain churn drains to zero -------- *)
+
+let async_smoke (module S : Smr.Smr_intf.S) () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 16; async_reclaim = true;
+      handoff_capacity = 4 }
+  in
+  let t = S.create ~config:cfg () in
+  ignore
+    (Pool.run ~n:2 (fun _ ->
+         let h = S.register t in
+         for _ = 1 to 400 do
+           S.retire h (Mem.make (S.stats t))
+         done;
+         S.flush h;
+         S.unregister h));
+  S.shutdown t;
+  let survivor = S.register t in
+  S.flush survivor;
+  S.flush survivor;
+  S.flush survivor;
+  Alcotest.(check int)
+    (S.name ^ ": zero residue after shutdown")
+    0
+    (Stats.unreclaimed (S.stats t));
+  S.unregister survivor
+
+(* Inline mode must be byte-for-byte unaffected: flag off, no collector. *)
+let test_flag_off_no_collector () =
+  let t = Hp.create ~config:base () in
+  Alcotest.(check bool) "no collector when async_reclaim is off" true
+    (Hp.collector_counters t = None);
+  let h = Hp.register t in
+  for _ = 1 to 100 do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  Hp.flush h;
+  Alcotest.(check int) "inline path drains as before" 0
+    (Stats.unreclaimed (Hp.stats t));
+  Hp.unregister h;
+  Hp.shutdown t
+
+let () =
+  Alcotest.run "collector"
+    [
+      ( "policy",
+        [ Alcotest.test_case "adaptive threshold clamps" `Quick
+            test_adapt_threshold ] );
+      ( "bags",
+        [
+          Alcotest.test_case "growth past initial capacity" `Quick
+            test_bag_growth;
+          Alcotest.test_case "transfer appends and empties" `Quick
+            test_bag_transfer;
+          Alcotest.test_case "salvage compacts in place" `Quick
+            test_bag_salvage_in_place;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "handoff, drain, clean shutdown" `Quick
+            test_ring_basic;
+          Alcotest.test_case "full ring rejects; queued bags recovered" `Quick
+            test_ring_full_rejects_and_recovers;
+        ] );
+      ( "hp",
+        [
+          Alcotest.test_case "clean shutdown drains all bags" `Quick
+            test_hp_async_clean_shutdown;
+          Alcotest.test_case "stalled collector: bounded inline fallback"
+            `Quick test_hp_stalled_collector_inline_fallback;
+          Alcotest.test_case "killed collector: salvage, no double free"
+            `Quick test_hp_collector_kill_salvage;
+          Alcotest.test_case "flag off: no collector, inline unchanged" `Quick
+            test_flag_off_no_collector;
+        ] );
+      ( "schemes",
+        [
+          Alcotest.test_case "HP++ async smoke" `Quick
+            (async_smoke (module Hp_plus));
+          Alcotest.test_case "EBR async smoke" `Quick
+            (async_smoke (module Ebr));
+          Alcotest.test_case "PEBR async smoke" `Quick
+            (async_smoke (module Pebr));
+        ] );
+    ]
