@@ -41,6 +41,8 @@ type params = {
   async : bool; (* in-process servers run a background collector domain *)
   fault_seed : int option;
   fault_release : float;
+  trace_raw : string option; (* client-side Req_send/Req_done events *)
+  trace_depth : int;
 }
 
 type cell = {
@@ -345,6 +347,18 @@ let fault_release_arg =
   let doc = "Seconds before the watchdog releases a stalled client." in
   Arg.(value & opt float 0.5 & info [ "fault-release" ] ~doc)
 
+let trace_raw_arg =
+  let doc =
+    "Record client-side wire events (send/completion per frame id) and \
+     write the raw trace to $(docv) on exit — trace_merge.exe joins it \
+     with a server-side --trace-raw dump into one timeline."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-raw" ] ~docv:"FILE" ~doc)
+
+let trace_depth_arg =
+  let doc = "Trace ring capacity per domain, in events." in
+  Arg.(value & opt int 65536 & info [ "trace-depth" ] ~doc)
+
 let json_arg =
   let doc = "Write harness Collector rows to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -355,7 +369,7 @@ let split_commas s =
 
 let main schemes rates connect conns duration drain seed keys read_pct dist
     theta prefill reactors shards queue_bound async fault_seed fault_release
-    json =
+    trace_raw trace_depth json =
   let p =
     {
       conns;
@@ -373,8 +387,14 @@ let main schemes rates connect conns duration drain seed keys read_pct dist
       async;
       fault_seed;
       fault_release;
+      trace_raw;
+      trace_depth;
     }
   in
+  if p.trace_raw <> None then begin
+    Obs.Trace.set_clock (fun () -> Int64.to_int (Monotonic_clock.now ()));
+    Obs.Trace.enable ~capacity:p.trace_depth ()
+  end;
   let rates = List.map float_of_string (split_commas rates) in
   Printf.printf
     "netkv open-loop bench: %d conn(s), %.2fs/cell + %.2fs drain, %d keys \
@@ -403,6 +423,16 @@ let main schemes rates connect conns duration drain seed keys read_pct dist
               rates)
           (split_commas schemes)
   in
+  (match p.trace_raw with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.disable ();
+      let snap = Obs.Trace.snapshot () in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Obs.Trace.write_raw oc snap);
+      Printf.printf "wrote client raw trace to %s\n%!" path);
   summary_table cells;
   List.iter
     (fun c ->
@@ -423,6 +453,6 @@ let cmd =
       $ duration_arg $ drain_arg $ seed_arg $ keys_arg $ read_pct_arg
       $ dist_arg $ theta_arg $ prefill_arg $ reactors_arg $ shards_arg
       $ queue_bound_arg $ async_arg $ fault_seed_arg $ fault_release_arg
-      $ json_arg)
+      $ trace_raw_arg $ trace_depth_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

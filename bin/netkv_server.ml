@@ -23,6 +23,7 @@ type params = {
   async : bool; (* background collector domain behind the store *)
   trace_raw : string option;
   trace_depth : int;
+  metrics : Obs_cli.t;
 }
 
 module Run (S : Smr.Smr_intf.S) = struct
@@ -41,7 +42,9 @@ module Run (S : Smr.Smr_intf.S) = struct
     in
     let srv =
       Srv.start ~reactors:p.reactors ~queue_bound:p.queue_bound ~config
-        ~shards:p.shards p.addrs
+        ~shards:p.shards
+        ?metrics:(Obs_cli.metrics_of p.metrics)
+        p.addrs
     in
     Printf.printf
       "netkv server: scheme=%s shards=%d reactors=%d reclaim=%s listening on \
@@ -50,6 +53,11 @@ module Run (S : Smr.Smr_intf.S) = struct
       S.name p.shards p.reactors
       (if p.async then "async" else "inline")
       (String.concat ", " (List.map Net.Addr.to_string p.addrs));
+    Option.iter
+      (fun port ->
+        Printf.printf "netkv server: metrics on http://127.0.0.1:%d/metrics\n%!"
+          port)
+      (Srv.metrics_port srv);
     let stop = Atomic.make false in
     let on_signal _ = Atomic.set stop true in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -165,7 +173,7 @@ let trace_depth_arg =
   Arg.(value & opt int 65536 & info [ "trace-depth" ] ~doc)
 
 let main listen scheme shards reactors queue_bound duration async trace_raw
-    trace_depth =
+    trace_depth metrics =
   run
     {
       addrs = List.map Net.Addr.parse listen;
@@ -177,6 +185,7 @@ let main listen scheme shards reactors queue_bound duration async trace_raw
       async;
       trace_raw;
       trace_depth;
+      metrics;
     }
 
 let cmd =
@@ -186,6 +195,6 @@ let cmd =
     Term.(
       const main $ listen_arg $ scheme_arg $ shards_arg $ reactors_arg
       $ queue_bound_arg $ duration_arg $ async_arg $ trace_raw_arg
-      $ trace_depth_arg)
+      $ trace_depth_arg $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

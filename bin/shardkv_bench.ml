@@ -34,6 +34,12 @@ type params = {
   async : bool; (* hand retire bags to a background collector domain *)
 }
 
+(* With --metrics-listen the exposition listener samples whichever cell is
+   currently running: each run_cell installs a closure over its own kv here
+   and clears it before teardown. The swap is racy but memory-safe — at
+   worst one scrape reads a just-quiesced cell. *)
+let live_sample : (Obs.Metrics.t -> unit) ref = ref (fun _ -> ())
+
 type cell = {
   c_scheme : string;
   c_shards : int;
@@ -68,6 +74,16 @@ module Drive (S : Smr.Smr_intf.S) = struct
     let kv = KV.create ~config ~shards () in
     prefill kv ~keys:p.keys ~ratio:p.prefill;
     let t0 = Unix.gettimeofday () in
+    live_sample :=
+      (fun m ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let snap = KV.snapshot kv ~elapsed in
+        Service.Telemetry.add_service_snapshot m snap;
+        let labels = [ ("scheme", S.name) ] in
+        Service.Telemetry.add_smr_stats m ~labels (S.stats (KV.scheme kv));
+        match S.collector_stats (KV.scheme kv) with
+        | Some st -> Service.Telemetry.add_collector_stats m ~labels st
+        | None -> ());
     let _ =
       Pool.run_timed ~n:p.domains ~duration:p.duration (fun i ~stop ->
           let rng = Rng.create ~seed:(0x5eed + (i * 7919)) in
@@ -91,6 +107,7 @@ module Drive (S : Smr.Smr_intf.S) = struct
           KV.detach kv)
     in
     let wall = Unix.gettimeofday () -. t0 in
+    live_sample := (fun _ -> ());
     (* quiescent integrity sweep: raises on any reachable-but-freed node *)
     let keys_checked = KV.validate kv in
     let snap = KV.snapshot kv ~elapsed:wall in
@@ -267,8 +284,14 @@ let span_name =
     else "op" ^ string_of_int op
 
 let main shards domains duration keys read_pct mg_pct batch dist theta prefill
-    schemes json no_uaf async trace trace_raw trace_depth metrics =
+    schemes json no_uaf async trace trace_raw trace_depth metrics metrics_live =
   if no_uaf then Smr_core.Mem.set_checking false;
+  let exposition = Obs_cli.start metrics_live ~sample:(fun m -> !live_sample m) in
+  Option.iter
+    (fun e ->
+      Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+        (Obs.Exposition.port e))
+    exposition;
   let tracing = trace <> None || trace_raw <> None in
   if tracing then begin
     (* one clock for instants and span starts, monotonic so the Perfetto
@@ -382,6 +405,7 @@ let main shards domains duration keys read_pct mg_pct batch dist theta prefill
       Obs.Metrics.write path m;
       Printf.printf "wrote metrics exposition to %s\n%!" path)
     metrics;
+  Option.iter Obs.Exposition.stop exposition;
   let total_anomalies = List.fold_left (fun a c -> a + c.anomalies) 0 cells in
   if total_anomalies > 0 || !trace_violations > 0 then exit 1
 
@@ -393,6 +417,7 @@ let cmd =
       const main $ shards_arg $ domains_arg $ duration_arg $ keys_arg
       $ read_pct_arg $ mg_pct_arg $ batch_arg $ dist_arg $ theta_arg
       $ prefill_arg $ schemes_arg $ json_arg $ no_uaf_arg $ async_arg
-      $ trace_arg $ trace_raw_arg $ trace_depth_arg $ metrics_arg)
+      $ trace_arg $ trace_raw_arg $ trace_depth_arg $ metrics_arg
+      $ Obs_cli.term)
 
 let () = exit (Cmd.eval cmd)

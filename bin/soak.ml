@@ -1,15 +1,11 @@
 (* Long-running randomized soak of every data structure x scheme pair with
    the use-after-free detector on.
 
-   Usage: soak [rounds] [domains] [options]
-     --every SEC        print a one-line progress snapshot every SEC seconds
-     --trace FILE       record SMR events, write Chrome trace JSON to FILE
-     --trace-raw FILE   write the raw trace artifact (trace_check format)
-     --metrics FILE     write per-pair reclamation counters (Prometheus text)
-     --trace-depth N    trace ring capacity per domain (default 65536)
-     --chaos SEED       fault-injection mode: each round arms one seeded
-                        kill or stall at a random SMR protocol point;
-                        killed handles are recovered via report_crashed
+   Usage: soak [ROUNDS] [DOMAINS] [options] — see --help; beyond the trace
+   and chaos flags it accepts the shared --metrics-listen ADDR /
+   --metrics-every SECS pair, serving live per-pair reclamation counters at
+   /metrics while the soak runs (and --metrics FILE still writes the final
+   exposition to disk).
 
    A recorded trace is replay-checked in-process before exit; protocol
    violations fail the soak. In chaos mode only the four scheme-defining
@@ -24,14 +20,8 @@ module Rng = Smr_core.Rng
 module Stats = Smr_core.Stats
 module Trace = Obs.Trace
 
-(* --- minimal argv parsing: positionals then --flag VALUE pairs ----------- *)
-
-let usage () =
-  prerr_endline
-    "usage: soak [rounds] [domains] [--every SEC] [--trace FILE]\n\
-    \            [--trace-raw FILE] [--metrics FILE] [--trace-depth N]\n\
-    \            [--chaos SEED]";
-  exit 2
+(* The knobs stay refs (the Drive functors below read them directly); the
+   cmdliner command at the bottom fills them in before running. *)
 
 let rounds = ref 5
 let domains = ref 4
@@ -41,39 +31,6 @@ let trace_raw_out = ref None
 let metrics_out = ref None
 let trace_depth = ref 65536
 let chaos = ref None
-
-let () =
-  let rec parse pos = function
-    | [] -> ()
-    | "--every" :: v :: rest ->
-        every := float_of_string v;
-        parse pos rest
-    | "--trace" :: v :: rest ->
-        trace_out := Some v;
-        parse pos rest
-    | "--trace-raw" :: v :: rest ->
-        trace_raw_out := Some v;
-        parse pos rest
-    | "--metrics" :: v :: rest ->
-        metrics_out := Some v;
-        parse pos rest
-    | "--trace-depth" :: v :: rest ->
-        trace_depth := int_of_string v;
-        parse pos rest
-    | "--chaos" :: v :: rest ->
-        chaos := Some (int_of_string v);
-        parse pos rest
-    | a :: _ when String.length a > 0 && a.[0] = '-' -> usage ()
-    | a :: rest ->
-        (match pos with
-        | 0 -> rounds := int_of_string a
-        | 1 -> domains := int_of_string a
-        | _ -> usage ());
-        parse (pos + 1) rest
-  in
-  match parse 0 (List.tl (Array.to_list Sys.argv)) with
-  | () -> ()
-  | exception _ -> usage ()
 
 (* --- progress ticker ----------------------------------------------------- *)
 
@@ -334,9 +291,29 @@ let run_standard () =
   let module M20 = Drive (Rc) (Smr_ds.Bonsai.Make (Rc)) in
   M20.run "bonsai/RC"
 
-let () =
+(* Live scrape: the current pair's SMR counters (labelled by pair name) plus
+   a whole-soak op counter. [progress] has one writer per field and is read
+   racily here, same as the ticker. *)
+let live_sample m =
+  Obs.Metrics.counter m ~help:"Operations completed across all soak pairs"
+    "soak_ops_total"
+    (float_of_int (Atomic.get progress.ops));
+  match progress.stats with
+  | None -> ()
+  | Some s ->
+      Service.Telemetry.add_smr_stats m
+        ~labels:[ ("pair", progress.label) ]
+        s
+
+let run metrics_live =
   let tracing = !trace_out <> None || !trace_raw_out <> None in
   if tracing then Trace.enable ~capacity:!trace_depth ();
+  let exposition = Obs_cli.start metrics_live ~sample:live_sample in
+  Option.iter
+    (fun e ->
+      Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+        (Obs.Exposition.port e))
+    exposition;
   let ticker = if !every > 0.0 then Some (spawn_ticker !every) else None in
   (match !chaos with
   | Some seed -> run_chaos seed
@@ -381,5 +358,72 @@ let () =
       Obs.Metrics.write path metrics_reg;
       Printf.printf "wrote metrics exposition to %s\n%!" path)
     !metrics_out;
+  Option.iter Obs.Exposition.stop exposition;
   if !violations > 0 then exit 1;
   print_endline "all soaks passed"
+
+open Cmdliner
+
+let rounds_arg =
+  let doc = "Soak rounds per data-structure x scheme pair." in
+  Arg.(value & pos 0 int 5 & info [] ~docv:"ROUNDS" ~doc)
+
+let domains_arg =
+  let doc = "Worker domains per round." in
+  Arg.(value & pos 1 int 4 & info [] ~docv:"DOMAINS" ~doc)
+
+let every_arg =
+  let doc = "Print a one-line progress snapshot every $(docv) seconds." in
+  Arg.(value & opt float 0.0 & info [ "every" ] ~docv:"SEC" ~doc)
+
+let trace_arg =
+  let doc = "Record SMR events and write Chrome trace JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_raw_arg =
+  let doc =
+    "Write the raw trace artifact (the format trace_check.exe reads) to \
+     $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-raw" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write per-pair reclamation counters (Prometheus text) to $(docv) on \
+     exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_depth_arg =
+  let doc = "Trace ring capacity per domain, in events." in
+  Arg.(value & opt int 65536 & info [ "trace-depth" ] ~doc)
+
+let chaos_arg =
+  let doc =
+    "Fault-injection mode: each round arms one seeded kill or stall at a \
+     random SMR protocol point; killed handles are recovered via \
+     report_crashed."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let main r d ev tr traw m depth ch metrics_live =
+  rounds := r;
+  domains := d;
+  every := ev;
+  trace_out := tr;
+  trace_raw_out := traw;
+  metrics_out := m;
+  trace_depth := depth;
+  chaos := ch;
+  run metrics_live
+
+let cmd =
+  let doc = "Randomized soak of every data structure x scheme pair" in
+  Cmd.v
+    (Cmd.info "soak" ~doc)
+    Term.(
+      const main $ rounds_arg $ domains_arg $ every_arg $ trace_arg
+      $ trace_raw_arg $ metrics_arg $ trace_depth_arg $ chaos_arg
+      $ Obs_cli.term)
+
+let () = exit (Cmd.eval cmd)

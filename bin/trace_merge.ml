@@ -1,0 +1,115 @@
+(* Join a client-side raw trace (netkv_bench --trace-raw) with a server-side
+   one (netkv_server --trace-raw) into a single timeline on the server's
+   clock.
+
+     dune exec bin/trace_merge.exe -- --client c.trace --server s.trace \
+       --out merged.trace --chrome merged.json
+
+   The clock offset is estimated NTP-style from every frame id that carries
+   all four wire stamps (client send/done, server recv/wire); the merged
+   snapshot gets client events rebased and renumbered past the server's,
+   plus synthesized Span bars (net.rpc / net.queue / net.serve / net.write)
+   so one Perfetto load shows where each request spent its time. The merged
+   raw artifact still replay-checks: trace_check.exe ignores wire-level
+   kinds. *)
+
+module Trace = Obs.Trace
+module Merge = Obs.Merge
+module St = Service.Service_stats
+
+let read_snapshot path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Trace.read_raw ic)
+
+let span_name =
+  let op_names = Array.of_list (List.map St.op_name St.all_ops) in
+  fun op ->
+    match Merge.span_name op with
+    | Some n -> n
+    | None ->
+        if op >= 0 && op < Array.length op_names then op_names.(op)
+        else "op" ^ string_of_int op
+
+let main client server out chrome check =
+  let c = read_snapshot client in
+  let s = read_snapshot server in
+  let corr, merged = Merge.merge ~client:c ~server:s in
+  if corr.Merge.pairs = 0 then
+    prerr_endline
+      "trace_merge: warning: no frame id carries all four wire stamps; \
+       merging with offset 0 (are these traces from the same run?)"
+  else
+    Printf.printf
+      "clock offset: server - client = %d ns (median of %d exchanges, \
+       spread %d ns)\n\
+       %!"
+      corr.Merge.offset_ns corr.Merge.pairs corr.Merge.spread_ns;
+  let merged = Merge.synthesize_spans merged in
+  Printf.printf "merged: %d events (%d client + %d server + spans)\n%!"
+    (Array.length merged.Trace.events)
+    (Array.length c.Trace.events)
+    (Array.length s.Trace.events);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Trace.write_raw oc merged);
+      Printf.printf "wrote merged raw trace to %s\n%!" path)
+    out;
+  Option.iter
+    (fun path ->
+      Obs.Chrome.write ~span_name path merged;
+      Printf.printf "wrote Chrome trace JSON to %s\n%!" path)
+    chrome;
+  if check then
+    match Obs.Check.run_snapshot merged with
+    | Ok summary ->
+        Format.printf "trace check: clean — %a@." Obs.Check.pp_summary summary
+    | Error vs ->
+        Printf.printf "trace check: %d violation(s)\n" (List.length vs);
+        List.iteri
+          (fun i v ->
+            if i < 20 then Format.printf "  %a@." Obs.Check.pp_violation v)
+          vs;
+        exit 1
+
+open Cmdliner
+
+let client_arg =
+  let doc = "Client-side raw trace (netkv_bench --trace-raw)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "client" ] ~docv:"FILE" ~doc)
+
+let server_arg =
+  let doc = "Server-side raw trace (netkv_server --trace-raw)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "server" ] ~docv:"FILE" ~doc)
+
+let out_arg =
+  let doc = "Write the merged raw trace (trace_check format) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let chrome_arg =
+  let doc =
+    "Write the merged timeline as Chrome trace-event JSON \
+     (Perfetto-loadable) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+
+let check_arg =
+  let doc = "Replay-check the merged trace; violations exit nonzero." in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let cmd =
+  let doc = "Merge client and server raw traces into one correlated timeline" in
+  Cmd.v
+    (Cmd.info "trace-merge" ~doc)
+    Term.(
+      const main $ client_arg $ server_arg $ out_arg $ chrome_arg $ check_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -237,7 +237,8 @@ let create ?(config = Smr.Smr_intf.default_config) () =
   if config.async_reclaim then
     t.collector <-
       Some
-        (Collector.spawn ~capacity:config.handoff_capacity ~drain:(drain t)
+        (Collector.spawn ~capacity:config.handoff_capacity ~length:Retire_bag.length
+           ~drain:(drain t)
            ~dummy:(Retire_bag.create ~capacity:1 Mem.phantom)
            ());
   t
@@ -448,3 +449,4 @@ let pending_unlinked h =
 let pending_retired h = Retire_bag.length h.retireds
 
 let collector_counters t = Option.map Collector.counters t.collector
+let collector_stats t = Option.map Collector.stats t.collector

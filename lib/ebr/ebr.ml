@@ -197,7 +197,8 @@ let create ?(config = Smr.Smr_intf.default_config) () =
   if config.async_reclaim then
     t.collector <-
       Some
-        (Collector.spawn ~capacity:config.handoff_capacity ~drain:(drain t)
+        (Collector.spawn ~capacity:config.handoff_capacity ~length:Retire_bag.length
+           ~drain:(drain t)
            ~dummy:(Retire_bag.create ~capacity:1 entry_dummy)
            ());
   t
@@ -347,3 +348,4 @@ let report_crashed h =
   Orphanage.add h.shared.orphans h.bag
 
 let collector_counters t = Option.map Collector.counters t.collector
+let collector_stats t = Option.map Collector.stats t.collector

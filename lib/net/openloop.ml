@@ -138,13 +138,15 @@ let run_conn cfg i =
       Frame.Put (key, key)
     else Frame.Delete key
   in
-  let record_completion id =
+  let record_completion id resp_op =
     match Hashtbl.find_opt pending id with
     | None -> () (* duplicate or post-drain stray; ignore *)
     | Some p ->
         Hashtbl.remove pending id;
         incr completed;
         let t = now_ns () in
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit Obs.Trace.Req_done id resp_op 0;
         let service_lat = max 0 (t - p.send_ns) in
         Histogram.record uncorrected service_lat;
         Histogram.record_corrected backfill ~interval service_lat;
@@ -160,7 +162,8 @@ let run_conn cfg i =
           | Frame.Response Frame.Retry ->
               incr retried;
               Hashtbl.remove pending f.Frame.id
-          | Frame.Response _ -> record_completion f.Frame.id
+          | Frame.Response _ ->
+              record_completion f.Frame.id (Frame.opcode f.Frame.payload)
           | Frame.Request _ -> failwith "openloop: request frame from server");
           frames ()
     in
@@ -177,12 +180,14 @@ let run_conn cfg i =
         frames ();
         `Ok
   in
-  (* Frames leave the out buffer FIFO, so wire-time stamping is a queue of
-     (id, cumulative end offset): whenever the flushed-byte total passes a
-     frame's end offset, that frame is on the wire — stamp it. *)
-  let wire_q : (int * int) Queue.t = Queue.create () in
-  let buffered_total = ref 0 in
-  let flushed_total = ref 0 in
+  (* Wire-time stamping rides {!Session}'s mark queue: as each marked
+     frame's last byte reaches the kernel, re-stamp its send time (and let
+     the tracer know, for client/server correlation by frame id). *)
+  Session.set_on_wire sess (fun id ->
+      (match Hashtbl.find_opt pending id with
+      | Some p -> p.send_ns <- now_ns ()
+      | None -> ());
+      if Obs.Trace.enabled () then Obs.Trace.emit Obs.Trace.Req_send id 0 0);
   let flush_out () =
     if Session.out_backlog sess > 0 then begin
       if Fault.enabled () then begin
@@ -191,21 +196,7 @@ let run_conn cfg i =
         let dt = now_ns () - t0 in
         if dt > 1_000_000 then stalled_ns := !stalled_ns + dt
       end;
-      let before = Session.out_backlog sess in
-      ignore (Session.flush sess);
-      flushed_total := !flushed_total + (before - Session.out_backlog sess);
-      let stamp = now_ns () in
-      let rec drain_wire () =
-        match Queue.peek_opt wire_q with
-        | Some (id, end_off) when end_off <= !flushed_total ->
-            ignore (Queue.pop wire_q);
-            (match Hashtbl.find_opt pending id with
-            | Some p -> p.send_ns <- stamp
-            | None -> ());
-            drain_wire ()
-        | _ -> ()
-      in
-      drain_wire ()
+      ignore (Session.flush sess)
     end
   in
   let abrupt_close () =
@@ -239,10 +230,8 @@ let run_conn cfg i =
         let id = fresh_id () in
         Hashtbl.replace pending id
           { sched_ns = !next_arrival; send_ns = now_ns () };
-        let before = Session.out_backlog sess in
         Session.send sess { Frame.id; payload = Frame.Request (request rng) };
-        buffered_total := !buffered_total + (Session.out_backlog sess - before);
-        Queue.push (id, !buffered_total) wire_q;
+        Session.note_wire sess id;
         incr sent;
         next_arrival := !next_arrival + exp_gap_ns rng ~mean_ns
       done;

@@ -25,6 +25,10 @@
     every kv session it attaches — the single-domain discipline explicit
     sessions require. *)
 
+module Trace = Obs.Trace
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
 type handler = {
   serve : Frame.request -> Frame.response;
   close : crashed:bool -> unit;
@@ -103,6 +107,16 @@ let request_stop t =
 
 let conn_count t = List.length t.conns
 
+(* Sampler-side introspection, callable from another domain: plain field
+   reads of reactor-owned mutable state (list head, queue length, buffer
+   length) — memory-safe, instantaneously stale by at most one tick, which
+   is all a scraped gauge needs. *)
+let queued_depth t =
+  List.fold_left (fun acc c -> acc + Session.queue_depth c.sess) 0 t.conns
+
+let out_backlog t =
+  List.fold_left (fun acc c -> acc + Session.out_backlog c.sess) 0 t.conns
+
 (* --- loop internals (reactor domain only) -------------------------------- *)
 
 let teardown t conn ~crashed =
@@ -129,6 +143,9 @@ let adopt t =
     (fun fd ->
       Atomic.incr t.counters.accepted;
       let sess = Session.create ~queue_bound:t.queue_bound fd in
+      (* wire marks are only noted while tracing, so this fires rarely *)
+      Session.set_on_wire sess (fun id ->
+          if Trace.enabled () then Trace.emit Trace.Req_wire id 0 0);
       t.conns <- { sess; handler = t.make_handler () } :: t.conns)
     (List.rev incoming)
 
@@ -167,12 +184,19 @@ let drain_frames t conn =
             if Session.queue_full conn.sess then begin
               conn.sess.Session.retries <- conn.sess.Session.retries + 1;
               Atomic.incr t.counters.retries;
+              if Trace.enabled () then
+                Trace.emit Trace.Req_recv f.Frame.id
+                  (Frame.opcode f.Frame.payload) (-1);
               Session.send conn.sess
                 { Frame.id = f.Frame.id; payload = Frame.Response Frame.Retry }
             end
             else begin
               Queue.push f conn.sess.Session.inq;
-              Atomic.incr t.counters.queued
+              Atomic.incr t.counters.queued;
+              if Trace.enabled () then
+                Trace.emit Trace.Req_recv f.Frame.id
+                  (Frame.opcode f.Frame.payload)
+                  (Session.queue_depth conn.sess)
             end;
             loop ())
   in
@@ -197,6 +221,9 @@ let service_conn t conn =
        let f = Queue.pop conn.sess.Session.inq in
        Atomic.fetch_and_add t.counters.queued (-1) |> ignore;
        decr budget;
+       let tracing = Trace.enabled () in
+       if tracing then Trace.emit Trace.Req_dispatch f.Frame.id 0 0;
+       let t0 = if tracing then now_ns () else 0 in
        let req =
          match f.Frame.payload with
          | Frame.Request r -> r
@@ -211,7 +238,13 @@ let service_conn t conn =
        in
        conn.sess.Session.served <- conn.sess.Session.served + 1;
        Atomic.incr t.counters.served;
-       Session.send conn.sess { Frame.id = f.Frame.id; payload = Frame.Response resp }
+       Session.send conn.sess { Frame.id = f.Frame.id; payload = Frame.Response resp };
+       if Trace.enabled () then begin
+         Trace.emit Trace.Req_reply f.Frame.id
+           (Frame.opcode (Frame.Response resp))
+           (now_ns () - t0);
+         Session.note_wire conn.sess f.Frame.id
+       end
      done;
      match Session.flush conn.sess with
      | `Done | `Blocked -> ()

@@ -30,6 +30,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     mutable domains : unit Domain.t list;
     counters : Reactor.counters;
     started_at : float;
+    mutable exposition : Obs.Exposition.t option;
   }
 
   let kv t = t.kv
@@ -62,6 +63,51 @@ module Make (S : Smr.Smr_intf.S) = struct
                      0 t.reactors) );
             ] );
       ]
+
+  let metrics_port t = Option.map Obs.Exposition.port t.exposition
+
+  (* One scrape's worth of registry: the shardkv snapshot, scheme-level SMR
+     stats, background-collector introspection and per-reactor gauges. Runs
+     on the exposition listener's domain — everything it reads is either
+     atomic or a racy-but-memory-safe field read (see Reactor's sampler
+     accessors), which is all gauges need. *)
+  let sample t m =
+    let elapsed = Unix.gettimeofday () -. t.started_at in
+    let snap = Kv.snapshot t.kv ~elapsed in
+    Service.Telemetry.add_service_snapshot m snap;
+    let labels = [ ("scheme", snap.Service.Service_stats.scheme) ] in
+    Service.Telemetry.add_smr_stats m ~labels (S.stats (Kv.scheme t.kv));
+    (match S.collector_stats (Kv.scheme t.kv) with
+    | Some st -> Service.Telemetry.add_collector_stats m ~labels st
+    | None -> ());
+    let c = t.counters in
+    let counter name help v =
+      Obs.Metrics.counter m ~help name (float_of_int (Atomic.get v))
+    in
+    counter "netkv_accepted_total" "Connections adopted by reactors"
+      c.Reactor.accepted;
+    counter "netkv_crashed_total" "Connections torn down via the crash path"
+      c.Reactor.crashed;
+    counter "netkv_closed_total" "Connections closed cleanly"
+      c.Reactor.closed;
+    counter "netkv_served_total" "Requests executed" c.Reactor.served;
+    counter "netkv_retries_total" "Retry responses sent (backpressure)"
+      c.Reactor.retries;
+    Array.iteri
+      (fun i r ->
+        let labels = [ ("reactor", string_of_int i) ] in
+        let g name help v =
+          Obs.Metrics.gauge m ~labels ~help name (float_of_int v)
+        in
+        g "netkv_reactor_connections" "Connections owned by this reactor"
+          (Reactor.conn_count r);
+        g "netkv_reactor_queue_depth"
+          "Requests queued across this reactor's sessions"
+          (Reactor.queued_depth r);
+        g "netkv_reactor_out_backlog_bytes"
+          "Reply bytes buffered but not yet written"
+          (Reactor.out_backlog r))
+      t.reactors
 
   (* The per-connection handler. [serve] runs on the reactor's domain,
      which owns [sess]; [Stats] is answered inline from the same snapshot
@@ -112,7 +158,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     done
 
   let start ?(reactors = 2) ?(queue_bound = 64) ?batch ?high_water ?config
-      ?(shards = 4) ?buckets_per_shard addrs =
+      ?(shards = 4) ?buckets_per_shard ?metrics addrs =
     if addrs = [] then invalid_arg "Server.start: no addresses";
     if reactors < 1 then invalid_arg "Server.start: reactors";
     let kv = Kv.create ?config ~shards ?buckets_per_shard () in
@@ -134,9 +180,15 @@ module Make (S : Smr.Smr_intf.S) = struct
           domains = [];
           counters;
           started_at = Unix.gettimeofday ();
+          exposition = None;
         }
     in
     let t = Lazy.force t in
+    (match metrics with
+    | None -> ()
+    | Some (addr, every) ->
+        t.exposition <-
+          Some (Obs.Exposition.start ~every ~sample:(sample t) addr));
     let reactor_domains =
       Array.to_list
         (Array.map (fun r -> Domain.spawn (fun () -> Reactor.run r)) t.reactors)
@@ -150,6 +202,12 @@ module Make (S : Smr.Smr_intf.S) = struct
      recovers anything client churn left dead. Listener sockets (and stale
      unix paths) are released last. *)
   let stop t =
+    (* the scrape endpoint samples the kv: silence it before teardown *)
+    (match t.exposition with
+    | Some e ->
+        Obs.Exposition.stop e;
+        t.exposition <- None
+    | None -> ());
     Atomic.set t.accept_stop true;
     Array.iter Reactor.request_stop t.reactors;
     List.iter Domain.join t.domains;

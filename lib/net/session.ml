@@ -23,6 +23,16 @@ type t = {
   mutable out_off : int; (* bytes of [out] already written to the socket *)
   mutable retries : int; (* Retry frames issued to this session *)
   mutable served : int; (* requests actually executed *)
+  (* Wire-time stamping: frames leave [out] FIFO, so "frame [id]'s last
+     byte reached the kernel" is a queue of (id, cumulative end offset)
+     drained as the flushed-byte total passes each mark. Both sides use it:
+     the open-loop client to re-stamp send times (its uncorrected histogram
+     must not charge its own user-space buffering), the reactor to emit
+     [Req_wire] trace events. Empty (and free) unless marks are noted. *)
+  mutable buffered_total : int; (* bytes ever encoded into [out] *)
+  mutable flushed_total : int; (* bytes ever written to the socket *)
+  wire_q : (int * int) Queue.t; (* (frame id, end offset in buffered_total) *)
+  mutable on_wire : int -> unit; (* fired per marked frame as it hits the wire *)
 }
 
 let create ?(queue_bound = 64) fd =
@@ -37,7 +47,13 @@ let create ?(queue_bound = 64) fd =
     out_off = 0;
     retries = 0;
     served = 0;
+    buffered_total = 0;
+    flushed_total = 0;
+    wire_q = Queue.create ();
+    on_wire = ignore;
   }
+
+let set_on_wire t f = t.on_wire <- f
 
 let queue_full t = Queue.length t.inq >= t.queue_bound
 let queue_depth t = Queue.length t.inq
@@ -84,7 +100,25 @@ let next_frame t =
   | Codec.Need_more -> `Need_more
   | Codec.Corrupt c -> `Corrupt c
 
-let send t frame = Codec.encode t.out frame
+let send t frame =
+  let before = Buffer.length t.out in
+  Codec.encode t.out frame;
+  t.buffered_total <- t.buffered_total + (Buffer.length t.out - before)
+
+(* Ask for [on_wire] to fire for the last frame passed to [send]. Call
+   right after that [send]; marks for unmarked frames cost nothing. *)
+let note_wire t id = Queue.push (id, t.buffered_total) t.wire_q
+
+let fire_wire_marks t =
+  let rec drain () =
+    match Queue.peek_opt t.wire_q with
+    | Some (id, end_off) when end_off <= t.flushed_total ->
+        ignore (Queue.pop t.wire_q);
+        t.on_wire id;
+        drain ()
+    | _ -> ()
+  in
+  drain ()
 
 (* Drain the output buffer with nonblocking writes, one bounded chunk per
    call. Copying the whole buffer per attempt would be quadratic exactly
@@ -102,6 +136,8 @@ let flush t =
     match Unix.write_substring t.fd chunk 0 n with
     | w ->
         t.out_off <- t.out_off + w;
+        t.flushed_total <- t.flushed_total + w;
+        if not (Queue.is_empty t.wire_q) then fire_wire_marks t;
         if out_backlog t = 0 then begin
           Buffer.clear t.out;
           t.out_off <- 0;

@@ -42,6 +42,9 @@ let flush _ = ()
 (* NR never reclaims, so there is no collector to stop. *)
 let shutdown _ = ()
 
+(* No collector: NR never reclaims, so there is nothing to introspect. *)
+let collector_stats _ = None
+
 (* NR holds no per-handle state and never reclaims: a crashed handle leaves
    nothing to rescue (and leaks nothing beyond what NR already leaks). *)
 let report_crashed _ = ()

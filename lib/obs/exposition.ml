@@ -1,0 +1,199 @@
+(* Dependency-free HTTP/1.0 scrape endpoint for a Metrics registry.
+
+   One background domain runs a select loop over a nonblocking listener and
+   its connections; the page is re-sampled lazily, at most once per [every]
+   seconds (scrape-driven sampling with a TTL rather than a timer domain:
+   an idle server does zero sampling work, and two scrapes inside one TTL
+   window see one consistent snapshot). Responses are written with a
+   partial-write loop (bounded by [chunk], a test knob) behind the
+   [Fault.Net_write] hook so fault injection can stall or kill a scrape
+   mid-response without touching the serving path. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string; (* full response bytes; "" while still reading *)
+  mutable out_off : int;
+}
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  every : float;
+  chunk : int;
+  sample : Metrics.t -> unit;
+  mutable page : string;
+  mutable page_at : float;
+  scrapes : int Atomic.t;
+  stop_flag : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable dom : unit Domain.t option;
+}
+
+let http_response ~status body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\n\
+     Content-Type: text/plain; version=0.0.4\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status (String.length body) body
+
+(* First request line only; headers are irrelevant to a scrape. *)
+let handle_request ~refresh raw =
+  let line =
+    match String.index_opt raw '\n' with
+    | Some i ->
+        let l = String.sub raw 0 i in
+        if l <> "" && l.[String.length l - 1] = '\r' then
+          String.sub l 0 (String.length l - 1)
+        else l
+    | None -> raw
+  in
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _version ] ->
+      let path =
+        match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      if path = "/metrics" then http_response ~status:"200 OK" (refresh ())
+      else http_response ~status:"404 Not Found" "not found\n"
+  | [ _meth; _path; _version ] ->
+      http_response ~status:"405 Method Not Allowed" "only GET is served\n"
+  | _ -> http_response ~status:"400 Bad Request" "malformed request line\n"
+
+let refresh_page t () =
+  let now = Unix.gettimeofday () in
+  if t.page = "" || now -. t.page_at >= t.every then begin
+    let reg = Metrics.create () in
+    t.sample reg;
+    t.page <- Metrics.to_string reg;
+    t.page_at <- now
+  end;
+  Atomic.incr t.scrapes;
+  t.page
+
+let response_for t raw = handle_request ~refresh:(refresh_page t) raw
+
+let scrapes t = Atomic.get t.scrapes
+let port t = t.port
+
+(* A request is complete at the first blank line (headers done); scrapers
+   send nothing after it. 8 KiB cap: anything longer is not a scrape. *)
+let request_complete b =
+  let s = Buffer.contents b in
+  let n = String.length s in
+  let rec find i =
+    if i + 1 >= n then false
+    else if s.[i] = '\n' && (s.[i + 1] = '\n' || (i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n'))
+    then true
+    else find (i + 1)
+  in
+  n >= 8192 || find 0
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let serve_readable t c =
+  let buf = Bytes.create 1024 in
+  match Unix.read c.fd buf 0 1024 with
+  | 0 -> close_conn c; None
+  | n ->
+      Buffer.add_subbytes c.inbuf buf 0 n;
+      if request_complete c.inbuf then
+        c.out <- response_for t (Buffer.contents c.inbuf);
+      Some c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      Some c
+  | exception Unix.Unix_error (_, _, _) -> close_conn c; None
+
+let serve_writable t c =
+  match
+    if Fault.enabled () then Fault.hit Fault.Net_write;
+    let remaining = String.length c.out - c.out_off in
+    let len = min t.chunk remaining in
+    Unix.write_substring c.fd c.out c.out_off len
+  with
+  | n ->
+      c.out_off <- c.out_off + n;
+      if c.out_off >= String.length c.out then (close_conn c; None) else Some c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      Some c
+  | exception (Unix.Unix_error (_, _, _) | Fault.Killed _) ->
+      (* a killed scrape is a dropped connection, not a dead endpoint *)
+      close_conn c; None
+
+let rec listener t conns =
+  if Atomic.get t.stop_flag then List.iter close_conn conns
+  else begin
+    let reading, writing = List.partition (fun c -> c.out = "") conns in
+    let rds = t.stop_r :: t.sock :: List.map (fun c -> c.fd) reading in
+    let wrs = List.map (fun c -> c.fd) writing in
+    match Unix.select rds wrs [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> listener t conns
+    | rd, wr, _ ->
+        let conns =
+          if List.mem t.sock rd then begin
+            match Unix.accept t.sock with
+            | fd, _ ->
+                Unix.set_nonblock fd;
+                { fd; inbuf = Buffer.create 256; out = ""; out_off = 0 }
+                :: conns
+            | exception Unix.Unix_error (_, _, _) -> conns
+          end
+          else conns
+        in
+        let conns =
+          List.filter_map
+            (fun c ->
+              if c.out = "" && List.mem c.fd rd then serve_readable t c
+              else if c.out <> "" && List.mem c.fd wr then serve_writable t c
+              else Some c)
+            conns
+        in
+        listener t conns
+  end
+
+let start ?(every = 1.0) ?(chunk = 65536) ~sample addr =
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock addr;
+  Unix.listen sock 16;
+  Unix.set_nonblock sock;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> 0
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      sock;
+      port;
+      every;
+      chunk = max 1 chunk;
+      sample;
+      page = "";
+      page_at = 0.0;
+      scrapes = Atomic.make 0;
+      stop_flag = Atomic.make false;
+      stop_r;
+      stop_w;
+      dom = None;
+    }
+  in
+  t.dom <- Some (Domain.spawn (fun () -> listener t []));
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then begin
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.dom with Some d -> Domain.join d | None -> ());
+    t.dom <- None;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ t.sock; t.stop_r; t.stop_w ]
+  end

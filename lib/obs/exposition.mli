@@ -1,0 +1,55 @@
+(** Live [/metrics] scrape endpoint: a dependency-free HTTP/1.0 listener
+    serving Prometheus text from a {!Metrics} registry.
+
+    One background domain owns a nonblocking select loop; the page is
+    rebuilt {e lazily} by running the [sample] callback into a fresh
+    registry when a scrape arrives and the cached page is older than
+    [every] seconds. That inverts the usual periodic-sampler design on
+    purpose: an unscraped server does no sampling work, two scrapes inside
+    one TTL window see one consistent snapshot, and the scraper's own
+    cadence (not a server-side timer) sets the effective resolution.
+
+    The [sample] callback runs on the listener domain and must therefore
+    only read concurrency-safe state (atomics, counter snapshots) — every
+    producer-side API it is meant to call ([Service.Telemetry.add_*],
+    reactor/collector stats) is safe by construction.
+
+    Response writes go through a partial-write loop gated on
+    [Fault.Net_write], so fault plans can stall a scrape mid-response or
+    kill it (a killed scrape drops that connection only; the endpoint
+    itself survives). *)
+
+type t
+
+val start :
+  ?every:float ->
+  ?chunk:int ->
+  sample:(Metrics.t -> unit) ->
+  Unix.sockaddr ->
+  t
+(** Bind, listen and spawn the listener domain. [every] (default 1.0 s) is
+    the page TTL; [chunk] (default 64 KiB) caps bytes per [write] — a test
+    knob forcing the partial-write path. Binding to port 0 works; recover
+    the chosen port with {!port}.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** Bound TCP port (0 for a Unix-domain socket). *)
+
+val scrapes : t -> int
+(** Successful [GET /metrics] responses built so far. *)
+
+val stop : t -> unit
+(** Close the listener and every open connection, join the domain.
+    Idempotent. *)
+
+val response_for : t -> string -> string
+(** [response_for t raw]: the full HTTP response (status line, headers,
+    body) for one raw request. Exposed for unit tests; the listener itself
+    goes through the same path. *)
+
+val handle_request : refresh:(unit -> string) -> string -> string
+(** Pure request handler: parses the request line, serves [refresh ()] as
+    the 200 body for [GET /metrics] (query strings ignored), 404 for any
+    other path, 405 for non-GET methods, 400 for a malformed request
+    line. *)

@@ -1,0 +1,175 @@
+(* Client/server trace correlation.
+
+   Both sides stamp wire-level events keyed by the same frame id (the
+   client picks it, the server echoes it), so every completed request is an
+   NTP-style exchange: client Req_send at [cs], server Req_recv at [sr],
+   server Req_wire at [sw], client Req_done at [cd], all on different
+   clocks. Assuming symmetric network delay, the server-minus-client clock
+   offset estimate for one frame is (([sr] - [cs]) + ([sw] - [cd])) / 2;
+   asymmetric queueing perturbs individual estimates, so we take the median
+   over all complete exchanges and report the spread as a quality signal.
+
+   The merged snapshot lives in the server clock: server events verbatim,
+   client events shifted by the offset, renumbered after the last server
+   seq (the replay checker ignores wire-level kinds, so a merged raw file
+   still replay-checks against the server's SMR protocol events), and moved
+   to fresh domain ids so client and server tracks never collide. *)
+
+type correlation = {
+  offset_ns : int;  (* median server_ts - client_ts *)
+  pairs : int;  (* complete four-event exchanges found *)
+  spread_ns : int;  (* max - min per-frame estimate *)
+}
+
+(* Synthesized Span op codes, chosen well above the shardkv op table. *)
+let op_rpc = 100 (* client: send -> done *)
+let op_queue = 101 (* server: recv -> dispatch *)
+let op_serve = 102 (* server: dispatch -> reply *)
+let op_write = 103 (* server: reply -> wire *)
+
+let span_name = function
+  | 100 -> Some "net.rpc"
+  | 101 -> Some "net.queue"
+  | 102 -> Some "net.serve"
+  | 103 -> Some "net.write"
+  | _ -> None
+
+type stamps = {
+  mutable cs : int;
+  mutable cd : int;
+  mutable sr : int;
+  mutable sw : int;
+}
+
+let stamps_of ~(client : Trace.snapshot) ~(server : Trace.snapshot) =
+  let tbl : (int, stamps) Hashtbl.t = Hashtbl.create 1024 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some s -> s
+    | None ->
+        let s = { cs = min_int; cd = min_int; sr = min_int; sw = min_int } in
+        Hashtbl.add tbl id s;
+        s
+  in
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Req_send -> (get e.uid).cs <- e.ts
+      | Trace.Req_done -> (get e.uid).cd <- e.ts
+      | _ -> ())
+    client.events;
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Req_recv when e.b >= 0 -> (get e.uid).sr <- e.ts
+      | Trace.Req_wire -> (get e.uid).sw <- e.ts
+      | Trace.Req_reply ->
+          (* wire stamp may be missing (trace stopped first): the buffered-
+             reply stamp is the closest server-side bound we have *)
+          let s = get e.uid in
+          if s.sw = min_int then s.sw <- e.ts
+      | _ -> ())
+    server.events;
+  tbl
+
+let estimate_offset ~client ~server =
+  let tbl = stamps_of ~client ~server in
+  let estimates = ref [] in
+  Hashtbl.iter
+    (fun _ s ->
+      if s.cs > min_int && s.cd > min_int && s.sr > min_int && s.sw > min_int
+      then
+        estimates := ((s.sr - s.cs) + (s.sw - s.cd)) / 2 :: !estimates)
+    tbl;
+  match !estimates with
+  | [] -> None
+  | es ->
+      let a = Array.of_list es in
+      Array.sort compare a;
+      let n = Array.length a in
+      Some
+        {
+          offset_ns = a.(n / 2);
+          pairs = n;
+          spread_ns = a.(n - 1) - a.(0);
+        }
+
+let merge ~(client : Trace.snapshot) ~(server : Trace.snapshot) =
+  let corr =
+    match estimate_offset ~client ~server with
+    | Some c -> c
+    | None -> { offset_ns = 0; pairs = 0; spread_ns = 0 }
+  in
+  let max_seq =
+    Array.fold_left (fun m (e : Trace.event) -> max m e.seq) (-1) server.events
+  in
+  let max_dom =
+    Array.fold_left (fun m (e : Trace.event) -> max m e.dom) (-1) server.events
+  in
+  let dom_shift = max_dom + 1 in
+  let shifted =
+    Array.mapi
+      (fun i (e : Trace.event) ->
+        {
+          e with
+          Trace.seq = max_seq + 1 + i;
+          ts = e.ts + corr.offset_ns;
+          dom = e.dom + dom_shift;
+        })
+      client.events
+  in
+  let events = Array.append server.events shifted in
+  ( corr,
+    {
+      Trace.events;
+      dropped = server.dropped + client.dropped;
+      complete_from = server.complete_from;
+    } )
+
+(* Turn matched Req_* instants into Span events so the Chrome exporter
+   renders queue/serve/write/rpc as bars. Works on a merged snapshot (all
+   timestamps on one clock); spans are appended with fresh seqs, on the
+   domain of their opening event. *)
+let synthesize_spans (snap : Trace.snapshot) =
+  let opens : (int * int, int * int) Hashtbl.t = Hashtbl.create 1024 in
+  (* key: (frame id, op code) -> (start ts, dom) *)
+  let spans = ref [] in
+  let open_at op (e : Trace.event) = Hashtbl.replace opens (e.uid, op) (e.ts, e.dom) in
+  let close op (e : Trace.event) =
+    match Hashtbl.find_opt opens (e.uid, op) with
+    | Some (ts0, dom) when e.ts >= ts0 ->
+        Hashtbl.remove opens (e.uid, op);
+        spans :=
+          { Trace.seq = 0; ts = ts0; dom; kind = Trace.Span; uid = e.uid;
+            a = op; b = e.ts - ts0 }
+          :: !spans
+    | _ -> ()
+  in
+  Array.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Req_send -> open_at op_rpc e
+      | Trace.Req_done -> close op_rpc e
+      | Trace.Req_recv when e.b >= 0 ->
+          open_at op_queue e
+      | Trace.Req_dispatch ->
+          close op_queue e;
+          open_at op_serve e
+      | Trace.Req_reply ->
+          close op_serve e;
+          open_at op_write e
+      | Trace.Req_wire -> close op_write e
+      | _ -> ())
+    snap.events;
+  let max_seq =
+    Array.fold_left (fun m (e : Trace.event) -> max m e.seq) (-1) snap.events
+  in
+  let extra =
+    List.mapi
+      (fun i e -> { e with Trace.seq = max_seq + 1 + i })
+      (List.rev !spans)
+  in
+  {
+    snap with
+    Trace.events = Array.append snap.events (Array.of_list extra);
+  }

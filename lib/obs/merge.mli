@@ -1,0 +1,49 @@
+(** Client/server trace correlation for the networked service.
+
+    Both sides of a netkv exchange stamp wire-level {!Trace} events keyed
+    by the frame id the client picked and the server echoed, so every
+    completed request is an NTP-style exchange with four timestamps on two
+    clocks. {!estimate_offset} recovers the server-minus-client clock
+    offset as the median of per-frame estimates
+    [((recv - send) + (wire - done)) / 2]; {!merge} rebases the client
+    trace into the server clock and appends it, giving one totally-ordered
+    snapshot that still replay-checks (the checker ignores wire-level
+    kinds); {!synthesize_spans} turns the matched instants into Chrome
+    [Span] bars — client rpc, server queue/serve/write — so "where did this
+    p99 request spend its time" is readable off one timeline. *)
+
+type correlation = {
+  offset_ns : int;  (** median server-minus-client clock offset *)
+  pairs : int;  (** complete four-event exchanges the estimate used *)
+  spread_ns : int;  (** max - min per-frame estimate: quality signal *)
+}
+
+val estimate_offset :
+  client:Trace.snapshot -> server:Trace.snapshot -> correlation option
+(** [None] when no frame id has all four stamps (e.g. traces from unrelated
+    runs). *)
+
+val merge :
+  client:Trace.snapshot ->
+  server:Trace.snapshot ->
+  correlation * Trace.snapshot
+(** Server events verbatim; client events shifted into the server clock,
+    renumbered after the last server seq, and moved to domain ids above
+    every server domain. With no correlation pairs the offset falls back to
+    0 (and [pairs = 0] says so). *)
+
+val synthesize_spans : Trace.snapshot -> Trace.snapshot
+(** Append [Span] events for every matched open/close pair of wire-level
+    instants: client [Req_send]→[Req_done] becomes a [net.rpc] span, server
+    [Req_recv]→[Req_dispatch] a [net.queue] span, [Req_dispatch]→
+    [Req_reply] [net.serve], [Req_reply]→[Req_wire] [net.write]. Expects a
+    single-clock (merged) snapshot. *)
+
+val span_name : int -> string option
+(** Names for the synthesized span op codes; [None] for codes this module
+    did not mint (the shardkv op table owns those). *)
+
+val op_rpc : int
+val op_queue : int
+val op_serve : int
+val op_write : int

@@ -27,6 +27,23 @@ let valid_name name =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
        name
 
+(* Label keys are stricter than metric names: no ':' (reserved for recording
+   rules) and no leading digit, per the Prometheus data model. Values need no
+   validation — any byte is legal once escaped by [escape_label_value]. *)
+let valid_label_key k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+let check_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_key k) then
+        invalid_arg ("Metrics: invalid label key: " ^ k))
+    labels
+
 let family t ~typ ?(help = "") name =
   if not (valid_name name) then
     invalid_arg ("Metrics: invalid metric name: " ^ name);
@@ -38,6 +55,7 @@ let family t ~typ ?(help = "") name =
       f
 
 let add t ~typ ?help ?(labels = []) name value =
+  check_labels labels;
   let f = family t ~typ ?help name in
   f.series <- { labels; value } :: f.series
 
@@ -47,6 +65,7 @@ let gauge t ?help ?labels name value = add t ~typ:"gauge" ?help ?labels name val
 (** [summary t name ~quantiles ~count ~sum]: a Prometheus summary —
     [name{quantile="0.5"} v] series plus [name_count] and [name_sum]. *)
 let summary t ?help ?(labels = []) name ~quantiles ~count ~sum =
+  check_labels labels;
   let f = family t ~typ:"summary" ?help name in
   List.iter
     (fun (q, v) ->
@@ -54,6 +73,24 @@ let summary t ?help ?(labels = []) name ~quantiles ~count ~sum =
         { labels = labels @ [ ("quantile", Printf.sprintf "%g" q) ]; value = v }
         :: f.series)
     quantiles;
+  add t ~typ:"untyped-hidden" ~labels (name ^ "_count") (float_of_int count);
+  add t ~typ:"untyped-hidden" ~labels (name ^ "_sum") sum
+
+(** [histogram t name ~buckets ~count ~sum]: native Prometheus histogram —
+    cumulative [name_bucket{le="..."}] series per [(le, count_le)] pair, a
+    terminal [le="+Inf"] bucket equal to [count], plus [name_count] and
+    [name_sum]. Unlike {!summary}, bucket counts aggregate across series and
+    scrapes, which is why the live plane prefers it. *)
+let histogram t ?help ?(labels = []) name ~buckets ~count ~sum =
+  check_labels labels;
+  ignore (family t ~typ:"histogram" ?help name);
+  let bucket le v =
+    add t ~typ:"untyped-hidden"
+      ~labels:(labels @ [ ("le", le) ])
+      (name ^ "_bucket") (float_of_int v)
+  in
+  List.iter (fun (le, v) -> bucket (Printf.sprintf "%g" le) v) buckets;
+  bucket "+Inf" count;
   add t ~typ:"untyped-hidden" ~labels (name ^ "_count") (float_of_int count);
   add t ~typ:"untyped-hidden" ~labels (name ^ "_sum") sum
 

@@ -10,8 +10,10 @@ val create : unit -> t
 val counter :
   t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
 (** [counter t name v] records sample [v] of a counter family [name],
-    creating the family on first use. Invalid metric names raise
-    [Invalid_argument]. *)
+    creating the family on first use. Invalid metric names and invalid label
+    keys ([\[a-zA-Z_\]\[a-zA-Z0-9_\]*]) raise [Invalid_argument]; label
+    {e values} may contain any bytes — backslashes, double quotes and
+    newlines are escaped in the rendered text. *)
 
 val gauge :
   t -> ?help:string -> ?labels:(string * string) list -> string -> float -> unit
@@ -27,6 +29,22 @@ val summary :
   unit
 (** Summary family: one [{quantile="q"}] series per pair plus [_count] and
     [_sum] series. *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  string ->
+  buckets:(float * int) list ->
+  count:int ->
+  sum:float ->
+  unit
+(** Native histogram family: one cumulative [name_bucket{le="..."}] series
+    per [(upper_bound, count_le)] pair — counts must already be cumulative
+    and the [le] values ascending — plus a terminal [le="+Inf"] bucket equal
+    to [count], and [name_count]/[name_sum] series. Preferred over
+    {!summary} for live scraping: bucket counts are aggregatable across
+    shards and monotone across scrapes, quantiles are not. *)
 
 val to_string : t -> string
 (** Render all families in registration order, [# HELP]/[# TYPE] comments

@@ -15,6 +15,12 @@ type kind =
   | Handoff
   | Drain
   | Adapt
+  | Req_recv
+  | Req_dispatch
+  | Req_reply
+  | Req_wire
+  | Req_send
+  | Req_done
 
 let kind_code = function
   | Alloc -> 0
@@ -33,6 +39,12 @@ let kind_code = function
   | Handoff -> 13
   | Drain -> 14
   | Adapt -> 15
+  | Req_recv -> 16
+  | Req_dispatch -> 17
+  | Req_reply -> 18
+  | Req_wire -> 19
+  | Req_send -> 20
+  | Req_done -> 21
 
 let kind_of_code = function
   | 0 -> Alloc
@@ -51,6 +63,12 @@ let kind_of_code = function
   | 13 -> Handoff
   | 14 -> Drain
   | 15 -> Adapt
+  | 16 -> Req_recv
+  | 17 -> Req_dispatch
+  | 18 -> Req_reply
+  | 19 -> Req_wire
+  | 20 -> Req_send
+  | 21 -> Req_done
   | c -> invalid_arg ("Trace.kind_of_code: " ^ string_of_int c)
 
 let kind_name = function
@@ -70,6 +88,12 @@ let kind_name = function
   | Handoff -> "handoff"
   | Drain -> "drain"
   | Adapt -> "adapt"
+  | Req_recv -> "req_recv"
+  | Req_dispatch -> "req_dispatch"
+  | Req_reply -> "req_reply"
+  | Req_wire -> "req_wire"
+  | Req_send -> "req_send"
+  | Req_done -> "req_done"
 
 type event = {
   seq : int;

@@ -45,6 +45,25 @@ type kind =
   | Adapt
       (** the collector adjusted a scheme's adaptive reclaim threshold;
           [a] = new threshold, [b] = pending garbage that drove it *)
+  | Req_recv
+      (** server decoded a whole request frame off a socket; [uid] = frame
+          id, [a] = request opcode, [b] = session queue depth after the
+          enqueue (or -1 on a RETRY reject) *)
+  | Req_dispatch
+      (** server popped the frame off the session queue to serve it;
+          [uid] = frame id *)
+  | Req_reply
+      (** server finished the shard op and buffered the reply; [uid] = frame
+          id, [a] = response opcode, [b] = serve duration ns *)
+  | Req_wire
+      (** the last byte of the reply reached the kernel send buffer;
+          [uid] = frame id *)
+  | Req_send
+      (** client wrote the last byte of the request to the kernel;
+          [uid] = frame id *)
+  | Req_done
+      (** client decoded the matching reply; [uid] = frame id,
+          [a] = response opcode *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind

@@ -1,0 +1,70 @@
+(* Shared cmdliner vocabulary for the live telemetry plane: every binary
+   that can serve /metrics accepts the same --metrics-listen ADDR and
+   --metrics-every SECS pair, parsed the same way, instead of three
+   hand-rolled copies drifting apart. *)
+
+open Cmdliner
+
+type t = { listen : Unix.sockaddr option; every : float }
+
+(* "HOST:PORT" or ":PORT"; a missing/empty/"*" host means loopback — a
+   scrape endpoint is diagnostics, exposing it beyond the box is an
+   explicit choice ("0.0.0.0:9100"). *)
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg (Printf.sprintf "%S: expected HOST:PORT or :PORT" s))
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (`Msg (Printf.sprintf "%S: bad port %S" s port))
+      | Some p when p < 0 || p > 0xffff ->
+          Error (`Msg (Printf.sprintf "%S: bad port %S" s port))
+      | Some p -> (
+          if host = "" || host = "*" then
+            Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, p))
+          else
+            match Unix.inet_addr_of_string host with
+            | ip -> Ok (Unix.ADDR_INET (ip, p))
+            | exception Failure _ -> (
+                match Unix.gethostbyname host with
+                | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                    Error (`Msg (Printf.sprintf "%S: unknown host %S" s host))
+                | h -> Ok (Unix.ADDR_INET (h.Unix.h_addr_list.(0), p)))))
+
+let pp_addr ppf = function
+  | Unix.ADDR_INET (ip, p) ->
+      Format.fprintf ppf "%s:%d" (Unix.string_of_inet_addr ip) p
+  | Unix.ADDR_UNIX path -> Format.fprintf ppf "unix:%s" path
+
+let addr_conv = Arg.conv (parse_addr, pp_addr)
+
+let listen_arg =
+  let doc =
+    "Serve Prometheus text at http://$(docv)/metrics while running \
+     (HOST:PORT or :PORT; the host defaults to loopback, port 0 picks a \
+     free port)."
+  in
+  Arg.(
+    value
+    & opt (some addr_conv) None
+    & info [ "metrics-listen" ] ~docv:"ADDR" ~doc)
+
+let every_arg =
+  let doc =
+    "Minimum seconds between metrics re-samples: the scrape page is cached \
+     this long, so the scraper's own cadence (bounded below by $(docv)) \
+     sets the effective resolution."
+  in
+  Arg.(value & opt float 1.0 & info [ "metrics-every" ] ~docv:"SECS" ~doc)
+
+let term =
+  Term.(
+    const (fun listen every -> { listen; every }) $ listen_arg $ every_arg)
+
+let metrics_of t = Option.map (fun addr -> (addr, t.every)) t.listen
+
+let start t ~sample =
+  Option.map
+    (fun addr -> Obs.Exposition.start ~every:t.every ~sample addr)
+    t.listen

@@ -1,0 +1,24 @@
+(** The one shared [--metrics-listen ADDR] / [--metrics-every SECS] cmdliner
+    term: every binary that can serve a live [/metrics] page composes
+    {!term} into its command line, so the flags parse (and read in
+    [--help]) identically across [netkv_server], [shardkv_bench] and
+    [soak]. *)
+
+type t = {
+  listen : Unix.sockaddr option;  (** [None]: no scrape endpoint *)
+  every : float;  (** scrape-page cache TTL, seconds *)
+}
+
+val term : t Cmdliner.Term.t
+
+val parse_addr : string -> (Unix.sockaddr, [ `Msg of string ]) result
+(** ["HOST:PORT"] or [":PORT"]; empty or ["*"] host means loopback.
+    Exposed for tests. *)
+
+val metrics_of : t -> (Unix.sockaddr * float) option
+(** In the shape [Net.Server.Make(_).start]'s [?metrics] expects. *)
+
+val start : t -> sample:(Obs.Metrics.t -> unit) -> Obs.Exposition.t option
+(** Start an exposition listener directly (binaries without a [Server],
+    e.g. [shardkv_bench]/[soak]); [None] when [--metrics-listen] was not
+    given. Remember to {!Obs.Exposition.stop} it. *)

@@ -99,6 +99,7 @@ let flush h = Ebr.flush h.ebr_h
    [config.async_reclaim] is set, deferred decrements hand off through its
    collector. *)
 let shutdown t = Ebr.shutdown t.ebr
+let collector_stats t = Ebr.collector_stats t.ebr
 
 (* The deferred decrements live in the underlying EBR handle's bag; EBR's
    recovery (mark dead, orphan the bag) is exactly what RC needs. *)

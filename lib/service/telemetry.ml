@@ -47,6 +47,65 @@ let add_latency m ?(labels = []) name (s : Histogram.summary) =
     ~count:s.Histogram.count
     ~sum:(s.Histogram.mean *. float_of_int s.Histogram.count /. 1e9)
 
+(* Native-histogram bridge: a raw Histogram.t rendered as cumulative
+   le-buckets on a fixed decade ladder (1 µs .. 10 s, in seconds — the
+   repo records nanoseconds). Preferred over [add_latency]'s summary
+   whenever the caller still holds the histogram rather than a summary:
+   bucket counts aggregate across shards and stay monotone across scrapes,
+   quantiles do neither (DESIGN.md §14). *)
+let latency_ladder_ns =
+  [| 1_000; 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000;
+     1_000_000_000; 10_000_000_000 |]
+
+let add_histogram m ?(labels = []) ?(help = "Latency (seconds)") name
+    (h : Histogram.t) =
+  let buckets =
+    Array.to_list
+      (Array.map
+         (fun le_ns -> (float_of_int le_ns /. 1e9, Histogram.count_le h le_ns))
+         latency_ladder_ns)
+  in
+  Metrics.histogram m ~labels ~help name ~buckets ~count:(Histogram.count h)
+    ~sum:(Histogram.mean h *. float_of_int (Histogram.count h) /. 1e9)
+
+(* Background-collector introspection (PR 7's pipeline), labelled by scheme:
+   the live series ROADMAP item 1 needs to decide when async_reclaim can
+   default on — ring pressure, pending backlog, how long garbage survives. *)
+let add_collector_stats m ?(labels = []) (st : Smr.Collector.stats) =
+  let c name help v = Metrics.counter m ~help ~labels name (float_of_int v)
+  and g name help v = Metrics.gauge m ~help ~labels name (float_of_int v) in
+  g "smr_collector_ring_occupancy" "Bags queued in the handoff ring"
+    st.Smr.Collector.ring_occupancy;
+  g "smr_collector_ring_capacity" "Handoff ring capacity"
+    st.Smr.Collector.ring_capacity;
+  g "smr_collector_pending_blocks"
+    "Headers in collector-private pending after the last drain cycle"
+    st.Smr.Collector.pending;
+  g "smr_collector_pass_age"
+    "Scan passes the currently-pending garbage has survived"
+    st.Smr.Collector.pass_age;
+  let ctrs = st.Smr.Collector.ctrs in
+  c "smr_collector_handoffs_total" "Bags handed to the collector"
+    ctrs.Smr.Collector.handoffs;
+  c "smr_collector_fallbacks_total"
+    "Inline reclaims forced by a full or stopped collector"
+    ctrs.Smr.Collector.fallbacks;
+  c "smr_collector_drains_total" "Drain cycles run" ctrs.Smr.Collector.drains;
+  c "smr_collector_drained_bags_total" "Bags consumed by drain cycles"
+    ctrs.Smr.Collector.drained_bags;
+  c "smr_collector_steals_total"
+    "Queued bags absorbed into mutators' inline scans"
+    ctrs.Smr.Collector.steals;
+  let hist name help (h : Smr.Collector.histogram) =
+    Metrics.histogram m ~labels ~help name ~buckets:h.Smr.Collector.buckets
+      ~count:h.Smr.Collector.count ~sum:h.Smr.Collector.sum
+  in
+  hist "smr_collector_drain_duration_seconds" "Per-cycle drain wall time"
+    st.Smr.Collector.drain_duration;
+  hist "smr_collector_garbage_age_passes"
+    "Scan passes a block survived before being freed (cohort-approximate)"
+    st.Smr.Collector.garbage_age
+
 (* Everything a shardkv snapshot knows, labelled by scheme and shard count. *)
 let add_service_snapshot m (t : Service_stats.t) =
   let labels =

@@ -21,6 +21,43 @@
 
 type state = Running | Stopping | Stopped | Dead
 
+(* Fixed-bucket histogram, written only by the collector domain (every
+   [cycle] runs there), read concurrently by the metrics sampler — hence
+   atomics per bucket rather than a lock. [counts] are per-bucket
+   (cumulated at read time); values above the last edge land in the
+   implicit +Inf bucket, i.e. in [count] only. *)
+type hist = {
+  edges : float array; (* ascending upper bounds *)
+  bucket_counts : int Atomic.t array;
+  hcount : int Atomic.t;
+  hsum : int Atomic.t; (* in the recorded unit (ns, passes) *)
+}
+
+let hist_make edges =
+  {
+    edges;
+    bucket_counts = Array.map (fun _ -> Atomic.make 0) edges;
+    hcount = Atomic.make 0;
+    hsum = Atomic.make 0;
+  }
+
+let hist_record h v n =
+  let rec find i =
+    if i >= Array.length h.edges then ()
+    else if float_of_int v <= h.edges.(i) then
+      ignore (Atomic.fetch_and_add h.bucket_counts.(i) n)
+    else find (i + 1)
+  in
+  find 0;
+  ignore (Atomic.fetch_and_add h.hcount n);
+  ignore (Atomic.fetch_and_add h.hsum (v * n))
+
+(* Drain durations recorded in ns: 1us .. 1s edges. *)
+let duration_edges = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+(* Garbage age in scan passes survived before the free. *)
+let age_edges = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+
 type 'bag t = {
   (* ring: cell [i] is writable by a producer when seqs.(i) = pos, readable
      by the consumer when seqs.(i) = pos + 1, recycled at pos + cap *)
@@ -33,6 +70,11 @@ type 'bag t = {
   scratch : 'bag array; (* consumer-private batch buffer *)
   drain : 'bag array -> int -> int;
   dummy : 'bag;
+  length : ('bag -> int) option; (* bag occupancy, for garbage accounting *)
+  pending_now : int Atomic.t; (* scheme-pending headers after last cycle *)
+  pass_age : int Atomic.t; (* cycles the current survivors have seen *)
+  drain_duration : hist;
+  garbage_age : hist;
   handoffs : int Atomic.t;
   fallbacks : int Atomic.t;
   drains : int Atomic.t;
@@ -147,10 +189,85 @@ let counters (t : _ t) =
     steals = Atomic.get t.steals;
   }
 
+type histogram = { buckets : (float * int) list; count : int; sum : float }
+
+let hist_read ?(scale = 1.0) h =
+  let cum = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i le ->
+           cum := !cum + Atomic.get h.bucket_counts.(i);
+           (le *. scale, !cum))
+         h.edges)
+  in
+  {
+    buckets;
+    count = Atomic.get h.hcount;
+    sum = float_of_int (Atomic.get h.hsum) *. scale;
+  }
+
+type stats = {
+  ring_occupancy : int;
+  ring_capacity : int;
+  pending : int;
+  pass_age : int;
+  ctrs : counters;
+  drain_duration : histogram;  (* seconds *)
+  garbage_age : histogram;  (* scan passes survived *)
+}
+
+let stats t =
+  {
+    ring_occupancy = occupancy t;
+    ring_capacity = capacity t;
+    pending = Atomic.get t.pending_now;
+    pass_age = Atomic.get t.pass_age;
+    ctrs = counters t;
+    drain_duration = hist_read ~scale:1e-9 t.drain_duration;
+    garbage_age = hist_read t.garbage_age;
+  }
+
 (* Run one drain cycle over [n] dequeued bags, then recycle the (now empty)
-   bags to the mutator pool. Returns the scheme's still-pending count. *)
+   bags to the mutator pool. Returns the scheme's still-pending count.
+
+   Garbage accounting rides the cycle boundary: with a [length] hook the
+   arrivals are counted before the drain, and freed = previous pending +
+   arrived - still pending (the drain callback moves every bag's contents
+   into scheme-private pending before reclaiming, so the identity holds
+   exactly). Ages are a cohort approximation — of the blocks freed this
+   cycle, up to [arrived] are new (age 0) and the rest are survivors that
+   have lived [pass_age] scan passes; exact per-block ages would need a
+   stamp per header, which the hot path must not pay for. *)
 let cycle t n =
+  let arrived =
+    match t.length with
+    | None -> 0
+    | Some len ->
+        let s = ref 0 in
+        for i = 0 to n - 1 do
+          s := !s + len t.scratch.(i)
+        done;
+        !s
+  in
+  let t0 = Unix.gettimeofday () in
   let pending = t.drain t.scratch n in
+  hist_record t.drain_duration
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+    1;
+  let prev = Atomic.get t.pending_now in
+  Atomic.set t.pending_now pending;
+  (match t.length with
+  | Some _ ->
+      let freed = max 0 (prev + arrived - pending) in
+      if freed > 0 then begin
+        let fresh = min freed arrived in
+        let aged = freed - fresh in
+        if fresh > 0 then hist_record t.garbage_age 0 fresh;
+        if aged > 0 then hist_record t.garbage_age (Atomic.get t.pass_age) aged
+      end
+  | None -> ());
+  if pending = 0 then Atomic.set t.pass_age 0 else Atomic.incr t.pass_age;
   for i = 0 to n - 1 do
     pool_push t t.scratch.(i);
     t.scratch.(i) <- t.dummy
@@ -212,7 +329,7 @@ let run t =
         Dead so every subsequent offer fails fast into the inline path. *)
      Atomic.set t.state Dead)
 
-let spawn ?(capacity = 8) ~drain ~dummy () =
+let spawn ?(capacity = 8) ?length ~drain ~dummy () =
   if capacity < 1 then invalid_arg "Collector.spawn: capacity";
   (* The sequence protocol needs >= 2 cells: with one cell, "readable at
      pos" (seq = pos + 1) and "writable at pos + 1" (seq = pos + 1) are the
@@ -230,6 +347,11 @@ let spawn ?(capacity = 8) ~drain ~dummy () =
       scratch = Array.make capacity dummy;
       drain;
       dummy;
+      length;
+      pending_now = Atomic.make 0;
+      pass_age = Atomic.make 0;
+      drain_duration = hist_make duration_edges;
+      garbage_age = hist_make age_edges;
       handoffs = Atomic.make 0;
       fallbacks = Atomic.make 0;
       drains = Atomic.make 0;

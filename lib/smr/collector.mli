@@ -19,11 +19,21 @@
 type 'bag t
 
 val spawn :
-  ?capacity:int -> drain:('bag array -> int -> int) -> dummy:'bag -> unit -> 'bag t
+  ?capacity:int ->
+  ?length:('bag -> int) ->
+  drain:('bag array -> int -> int) ->
+  dummy:'bag ->
+  unit ->
+  'bag t
 (** Start a collector domain over a ring of [capacity] bags (default 8 —
     queued bags are unreclaimed garbage, so the bound is small on purpose).
     Clamped to at least 2: the cell sequence protocol cannot distinguish
     full from writable in a one-cell ring.
+
+    [length bag] (optional) reports a bag's occupancy; when supplied the
+    collector keeps live garbage accounting — arrivals per cycle, frees
+    derived from the pending delta, and the garbage-age histogram in
+    {!stats}. Called only on the collector domain, on bags it owns.
 
     [drain scratch n] runs {e only on the collector domain} with the [n]
     dequeued bags in [scratch.(0 .. n-1)]; it must move their contents into
@@ -75,6 +85,33 @@ type counters = {
 }
 
 val counters : 'bag t -> counters
+
+type histogram = {
+  buckets : (float * int) list;
+      (** cumulative count per ascending upper bound; feed straight to
+          [Obs.Metrics.histogram ~buckets] *)
+  count : int;
+  sum : float;
+}
+
+type stats = {
+  ring_occupancy : int;  (** bags queued right now *)
+  ring_capacity : int;
+  pending : int;  (** headers in collector-private pending after last cycle *)
+  pass_age : int;  (** scan passes the current survivors have seen *)
+  ctrs : counters;
+  drain_duration : histogram;  (** per-cycle drain wall time, seconds *)
+  garbage_age : histogram;
+      (** scan passes a block survived before being freed; cohort-
+          approximate (frees are split between age-0 arrivals and
+          [pass_age]-old survivors per cycle, not stamped per block) and
+          only populated when {!spawn} got a [length] hook *)
+}
+
+val stats : 'bag t -> stats
+(** Live introspection snapshot. Histograms are written only by the
+    collector domain and read via per-bucket atomics: any single bucket is
+    exact, cross-bucket skew of one in-flight cycle is possible. *)
 
 val shutdown : 'bag t -> recover:('bag -> unit) -> unit
 (** Stop and join the collector. A live collector first empties the ring

@@ -146,6 +146,13 @@ module type S = sig
       [unregister] — surviving handles keep working afterwards, falling
       back to inline reclamation. *)
 
+  val collector_stats : t -> Collector.stats option
+  (** Live introspection of the background collector ([None] when
+      [config.async_reclaim] is off or the scheme never spawns one): ring
+      occupancy, pending garbage, drain-duration and garbage-age
+      histograms. Safe to call concurrently with mutators and the
+      collector; the service metrics sampler polls it. *)
+
   val report_crashed : handle -> unit
   (** Crash recovery: a {e surviving} thread declares [handle]'s owner dead
       without [unregister] having run (fault injection, or a real watchdog).

@@ -346,6 +346,105 @@ let test_flag_off_no_collector () =
   Hp.unregister h;
   Hp.shutdown t
 
+(* --- introspection: collector_stats gauges pinned under a forced stall --- *)
+
+let test_collector_stats_under_stall () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 8; async_reclaim = true;
+      handoff_capacity = 4 }
+  in
+  let t = Hp.create ~config:cfg () in
+  let h = Hp.register t in
+  (match Hp.collector_stats t with
+  | None -> Alcotest.fail "async HP has no collector stats"
+  | Some st ->
+      Alcotest.(check int) "capacity as configured" 4
+        st.Collector.ring_capacity;
+      Alcotest.(check int) "ring empty at rest" 0 st.Collector.ring_occupancy;
+      Alcotest.(check int) "no pending garbage at rest" 0 st.Collector.pending;
+      Alcotest.(check int) "no drains recorded" 0
+        st.Collector.drain_duration.Collector.count);
+  Fault.arm ~point:Fault.Collector ~action:Fault.Stall ();
+  Fault.await_stalled ();
+  for _ = 1 to 200 do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  (* quiescent now: the retire loop is done, the collector is parked, so
+     the gauges are stable and must agree with the counters *)
+  (match Hp.collector_stats t with
+  | None -> Alcotest.fail "stats gone mid-run"
+  | Some st ->
+      let c = st.Collector.ctrs in
+      Alcotest.(check bool) "handoffs landed" true (c.Collector.handoffs > 0);
+      Alcotest.(check int) "stalled collector completed no drains" 0
+        c.Collector.drains;
+      Alcotest.(check int) "occupancy = handoffs - steals"
+        (c.Collector.handoffs - c.Collector.steals)
+        st.Collector.ring_occupancy;
+      Alcotest.(check int) "nothing pending on a parked collector" 0
+        st.Collector.pending;
+      Alcotest.(check int) "empty drain-duration histogram" 0
+        st.Collector.drain_duration.Collector.count;
+      Alcotest.(check int) "empty garbage-age histogram" 0
+        st.Collector.garbage_age.Collector.count);
+  Fault.release ();
+  Hp.flush h;
+  Hp.unregister h;
+  Hp.shutdown t;
+  let survivor = Hp.register t in
+  Hp.flush survivor;
+  Alcotest.(check int) "drains to zero once released" 0
+    (Stats.unreclaimed (Hp.stats t));
+  Hp.unregister survivor;
+  Fault.reset ()
+
+let test_collector_stats_after_drains () =
+  Fault.reset ();
+  let cfg =
+    { base with reclaim_threshold = 8; async_reclaim = true;
+      handoff_capacity = 4 }
+  in
+  let t = Hp.create ~config:cfg () in
+  let h = Hp.register t in
+  for _ = 1 to 200 do
+    Hp.retire h (Mem.make (Hp.stats t))
+  done;
+  Hp.flush h;
+  (* wait (bounded) for the collector to chew through what was handed off *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec settle () =
+    match Hp.collector_stats t with
+    | Some st
+      when st.Collector.ctrs.Collector.drained_bags
+           + st.Collector.ctrs.Collector.steals
+           >= st.Collector.ctrs.Collector.handoffs ->
+        st
+    | _ when Unix.gettimeofday () > deadline ->
+        Alcotest.fail "collector never drained its ring"
+    | _ ->
+        Unix.sleepf 0.01;
+        settle ()
+  in
+  let st = settle () in
+  let c = st.Collector.ctrs in
+  if c.Collector.drains > 0 then begin
+    let hist = st.Collector.drain_duration in
+    Alcotest.(check int) "one duration sample per drain cycle"
+      c.Collector.drains hist.Collector.count;
+    (match List.rev hist.Collector.buckets with
+    | (_, last) :: _ ->
+        Alcotest.(check int) "buckets cumulative to count" hist.Collector.count
+          last
+    | [] -> Alcotest.fail "no duration buckets");
+    Alcotest.(check bool) "garbage ages observed" true
+      (st.Collector.garbage_age.Collector.count > 0)
+  end;
+  Alcotest.(check bool) "no stats on inline schemes" true
+    (Hp.collector_stats (Hp.create ~config:base ()) = None);
+  Hp.unregister h;
+  Hp.shutdown t
+
 let () =
   Alcotest.run "collector"
     [
@@ -376,6 +475,10 @@ let () =
             `Quick test_hp_stalled_collector_inline_fallback;
           Alcotest.test_case "killed collector: salvage, no double free"
             `Quick test_hp_collector_kill_salvage;
+          Alcotest.test_case "stats gauges pinned under forced stall" `Quick
+            test_collector_stats_under_stall;
+          Alcotest.test_case "drain histograms filled after real cycles" `Quick
+            test_collector_stats_after_drains;
           Alcotest.test_case "flag off: no collector, inline unchanged" `Quick
             test_flag_off_no_collector;
         ] );

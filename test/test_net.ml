@@ -52,6 +52,84 @@ let check_roundtrip f =
 
 let test_roundtrip () = List.iter check_roundtrip all_frames
 
+(* --- codec: wire format pinned byte-for-byte ----------------------------- *)
+
+(* These hex strings are the v1 wire encoding as shipped; a peer built from
+   an older commit emits exactly these bytes, so changing any of them is a
+   protocol break, not a refactor. *)
+let hex_of_bytes b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let bytes_of_hex s =
+  Bytes.init
+    (String.length s / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let pinned_frames =
+  [
+    ( { Frame.id = 0x2a; payload = Frame.Request (Frame.Get 7) },
+      "000000120101000000000000002a0000000000000007" );
+    ( { Frame.id = 0x10000000001; payload = Frame.Request (Frame.Put (3, 9)) },
+      "0000001a0102000001000000000100000000000000030000000000000009" );
+    ( { Frame.id = 5; payload = Frame.Response (Frame.Value 11) },
+      "0000001201810000000000000005000000000000000b" );
+    ( { Frame.id = 6; payload = Frame.Response (Frame.Done true) },
+      "0000000b0183000000000000000601" );
+  ]
+
+let test_wire_format_pinned () =
+  List.iter
+    (fun (f, expect) ->
+      let name = Frame.payload_name f.Frame.payload in
+      Alcotest.(check string)
+        (name ^ " encoding pinned")
+        expect
+        (hex_of_bytes (Codec.encode_bytes f));
+      (* and bytes from an old peer still decode to the same frame *)
+      let b = bytes_of_hex expect in
+      match Codec.decode b ~off:0 ~avail:(Bytes.length b) with
+      | Codec.Frame (g, _) ->
+          if g <> f then Alcotest.failf "pinned %s bytes decode differently" name
+      | Codec.Need_more | Codec.Corrupt _ ->
+          Alcotest.failf "pinned %s bytes no longer decode" name)
+    pinned_frames
+
+(* --- session: wire marks fire as flushed bytes pass them ------------------ *)
+
+let test_session_wire_marks () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let sess = Net.Session.create a in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.Session.close sess;
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let fired = ref [] in
+      Net.Session.set_on_wire sess (fun id -> fired := id :: !fired);
+      let send id =
+        Net.Session.send sess
+          { Frame.id; payload = Frame.Response (Frame.Value id) };
+        Net.Session.note_wire sess id
+      in
+      send 1;
+      send 2;
+      Alcotest.(check (list int)) "nothing fired before flush" [] !fired;
+      (match Net.Session.flush sess with
+      | `Done -> ()
+      | `Blocked -> Alcotest.fail "socketpair buffer full on two frames"
+      | `Closed -> Alcotest.fail "peer closed");
+      Alcotest.(check (list int))
+        "both marks fired in send order" [ 1; 2 ] (List.rev !fired);
+      (* marks fire once: another flush with nothing queued stays silent *)
+      ignore (Net.Session.flush sess);
+      send 3;
+      ignore (Net.Session.flush sess);
+      Alcotest.(check (list int))
+        "third mark fired once" [ 1; 2; 3 ] (List.rev !fired))
+
 (* every strict prefix of a valid frame must decode Need_more, at any
    buffer offset — the incremental read path in Session depends on it *)
 let test_prefixes_need_more () =
@@ -474,7 +552,11 @@ let () =
           case "fuzz: garbage headers never raise" test_fuzz_garbage_headers;
           case "fuzz: truncated valid frames wait" test_fuzz_truncated_valid;
           case "bad version/opcode/runt typed" test_bad_version_and_opcode;
+          case "wire format pinned byte-for-byte" test_wire_format_pinned;
         ] );
+      ( "session",
+        [ case "wire marks fire at flushed-byte offsets" test_session_wire_marks ]
+      );
       ( "histogram",
         [
           case "record_corrected surfaces a stall" test_record_corrected_backfill;

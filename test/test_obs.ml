@@ -307,6 +307,252 @@ let test_real_trace_shardkv () =
   in
   Alcotest.(check bool) "saw op spans" true (s.Check.spans > 0)
 
+(* --- metrics: histogram family, label validation, escaping --------------- *)
+
+let test_metrics_histogram () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.histogram m ~help:"Latency" "lat"
+    ~buckets:[ (0.001, 2); (0.01, 5) ]
+    ~count:7 ~sum:0.025;
+  let s = Obs.Metrics.to_string m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains s needle))
+    [
+      "# TYPE lat histogram";
+      "# HELP lat Latency";
+      "lat_bucket{le=\"0.001\"} 2";
+      "lat_bucket{le=\"0.01\"} 5";
+      "lat_bucket{le=\"+Inf\"} 7";
+      "lat_count 7";
+      "lat_sum 0.025";
+    ];
+  (* the bucket/count/sum sub-series ride under the one histogram TYPE
+     header — no per-series TYPE lines of their own *)
+  Alcotest.(check bool) "no TYPE for _bucket" false (contains s "TYPE lat_bucket");
+  Alcotest.(check bool) "no TYPE for _count" false (contains s "TYPE lat_count");
+  Alcotest.(check bool) "no TYPE for _sum" false (contains s "TYPE lat_sum")
+
+let test_metrics_label_key_rejected () =
+  let m = Obs.Metrics.create () in
+  let rejects k =
+    match Obs.Metrics.counter m ~labels:[ (k, "v") ] "ok_name" 1.0 with
+    | () -> Alcotest.failf "label key %S accepted" k
+    | exception Invalid_argument _ -> ()
+  in
+  List.iter rejects [ ""; "0abc"; "le:quantile"; "a-b"; "sp ace" ];
+  (* valid keys still pass *)
+  Obs.Metrics.counter m ~labels:[ ("_ok", "v"); ("aB9_", "w") ] "ok_name" 1.0
+
+let test_metrics_label_value_escaped () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.gauge m ~labels:[ ("path", "a\"b\\c\nd") ] "g" 1.0;
+  let s = Obs.Metrics.to_string m in
+  Alcotest.(check bool) "escaped value pinned" true
+    (contains s "path=\"a\\\"b\\\\c\\nd\"")
+
+(* --- exposition: request handling and the live listener ------------------- *)
+
+let test_exposition_handle_request () =
+  let refresh () = "body 42\n" in
+  let starts needle s =
+    Alcotest.(check bool)
+      ("starts with " ^ needle)
+      true
+      (String.length s >= String.length needle
+      && String.sub s 0 (String.length needle) = needle)
+  in
+  let r = Obs.Exposition.handle_request ~refresh "GET /metrics HTTP/1.0" in
+  starts "HTTP/1.0 200" r;
+  Alcotest.(check bool) "body served" true (contains r "body 42");
+  Alcotest.(check bool) "content-type" true
+    (contains r "text/plain; version=0.0.4");
+  starts "HTTP/1.0 200"
+    (Obs.Exposition.handle_request ~refresh "GET /metrics?x=1 HTTP/1.1");
+  starts "HTTP/1.0 404"
+    (Obs.Exposition.handle_request ~refresh "GET /other HTTP/1.0");
+  starts "HTTP/1.0 405"
+    (Obs.Exposition.handle_request ~refresh "POST /metrics HTTP/1.0");
+  starts "HTTP/1.0 400" (Obs.Exposition.handle_request ~refresh "garbage")
+
+let scrape port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let test_exposition_live_scrape () =
+  let calls = Atomic.make 0 in
+  let sample m =
+    Obs.Metrics.counter m "samples_total"
+      (float_of_int (Atomic.fetch_and_add calls 1 + 1))
+  in
+  (* every:0 → every scrape resamples; chunk:7 → the 200 goes out in
+     7-byte writes, covering the partial-write path on every response *)
+  let e =
+    Obs.Exposition.start ~every:0.0 ~chunk:7 ~sample
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  Fun.protect
+    ~finally:(fun () -> Obs.Exposition.stop e)
+    (fun () ->
+      let port = Obs.Exposition.port e in
+      let r1 = scrape port in
+      Alcotest.(check bool) "scrape 1 ok" true (contains r1 "HTTP/1.0 200");
+      Alcotest.(check bool) "scrape 1 sampled" true
+        (contains r1 "samples_total 1");
+      let r2 = scrape port in
+      Alcotest.(check bool) "scrape 2 resampled" true
+        (contains r2 "samples_total 2");
+      Alcotest.(check bool) "404 leaves listener alive" true
+        (contains (scrape port) "samples_total");
+      Alcotest.(check int) "scrapes counted" 3 (Obs.Exposition.scrapes e));
+  (* stop is idempotent *)
+  Obs.Exposition.stop e
+
+let test_exposition_survives_write_kill () =
+  let sample m = Obs.Metrics.counter m "c_total" 1.0 in
+  let e =
+    Obs.Exposition.start ~every:0.0 ~chunk:8 ~sample
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.reset ();
+      Obs.Exposition.stop e)
+    (fun () ->
+      let port = Obs.Exposition.port e in
+      (* kill the response write on its second chunk: that connection dies
+         mid-response, the listener must survive *)
+      Fault.arm ~point:Fault.Net_write ~action:Fault.Kill ~after:2 ();
+      let truncated = scrape port in
+      Alcotest.(check bool) "response cut short" true
+        (String.length truncated < 100);
+      Fault.reset ();
+      let r = scrape port in
+      Alcotest.(check bool) "endpoint survives a killed write" true
+        (contains r "c_total 1"))
+
+(* --- merge: clock correlation and span synthesis -------------------------- *)
+
+let evt ~seq ~ts ~dom ?(a = 0) ?(b = 0) kind uid : Trace.event =
+  { Trace.seq; ts; dom; kind; uid; a; b }
+
+let mk_snap events =
+  { Trace.events; dropped = 0; complete_from = 0 }
+
+(* Three request/reply exchanges with symmetric network delay and a true
+   server-minus-client offset of [d] ns: the NTP-style estimate recovers
+   [d] exactly, with zero spread. *)
+let correlated_pair d =
+  let frame i =
+    let f = i + 1 in
+    let base = 10_000 * f in
+    let cs = base and cd = base + 4000 in
+    let sr = base + 1000 + d and sw = base + 3000 + d in
+    ( [
+        evt ~seq:(2 * i) ~ts:cs ~dom:0 Trace.Req_send f;
+        evt ~seq:((2 * i) + 1) ~ts:cd ~dom:0 ~a:0x81 Trace.Req_done f;
+      ],
+      [
+        evt ~seq:(4 * i) ~ts:sr ~dom:0 ~a:1 ~b:0 Trace.Req_recv f;
+        evt ~seq:((4 * i) + 1) ~ts:(sr + 500) ~dom:0 Trace.Req_dispatch f;
+        evt ~seq:((4 * i) + 2) ~ts:(sw - 500) ~dom:0 ~a:0x81 ~b:1500
+          Trace.Req_reply f;
+        evt ~seq:((4 * i) + 3) ~ts:sw ~dom:1 Trace.Req_wire f;
+      ] )
+  in
+  let pairs = List.map frame [ 0; 1; 2 ] in
+  ( mk_snap (Array.of_list (List.concat_map fst pairs)),
+    mk_snap (Array.of_list (List.concat_map snd pairs)) )
+
+let test_merge_offset () =
+  let client, server = correlated_pair 700_000 in
+  match Obs.Merge.estimate_offset ~client ~server with
+  | None -> Alcotest.fail "no correlation found"
+  | Some c ->
+      Alcotest.(check int) "offset" 700_000 c.Obs.Merge.offset_ns;
+      Alcotest.(check int) "pairs" 3 c.Obs.Merge.pairs;
+      Alcotest.(check int) "spread" 0 c.Obs.Merge.spread_ns
+
+let test_merge_rebases_and_spans () =
+  let d = 700_000 in
+  let client, server = correlated_pair d in
+  let corr, merged = Obs.Merge.merge ~client ~server in
+  Alcotest.(check int) "offset used" d corr.Obs.Merge.offset_ns;
+  (* seqs are a gap-free total order; client events land after the server's
+     and on domain ids above every server domain *)
+  Array.iteri
+    (fun j (e : Trace.event) -> Alcotest.(check int) "seq" j e.Trace.seq)
+    merged.Trace.events;
+  let server_n = Array.length server.Trace.events in
+  Array.iteri
+    (fun j (e : Trace.event) ->
+      if j >= server_n then Alcotest.(check int) "client dom shifted" 2 e.Trace.dom)
+    merged.Trace.events;
+  (* a client Req_send now sits on the server clock: ts + d *)
+  let send1 =
+    Array.to_list merged.Trace.events
+    |> List.find (fun (e : Trace.event) -> e.Trace.kind = Trace.Req_send)
+  in
+  Alcotest.(check int) "client ts rebased" (10_000 + d) send1.Trace.ts;
+  let with_spans = Obs.Merge.synthesize_spans merged in
+  let spans =
+    Array.to_list with_spans.Trace.events
+    |> List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span)
+  in
+  Alcotest.(check int) "4 spans per frame" 12 (List.length spans);
+  let count op =
+    List.length (List.filter (fun (e : Trace.event) -> e.Trace.a = op) spans)
+  in
+  Alcotest.(check int) "rpc spans" 3 (count Obs.Merge.op_rpc);
+  Alcotest.(check int) "queue spans" 3 (count Obs.Merge.op_queue);
+  Alcotest.(check int) "serve spans" 3 (count Obs.Merge.op_serve);
+  Alcotest.(check int) "write spans" 3 (count Obs.Merge.op_write);
+  (* frame 1's rpc span: starts at the rebased send, lasts cd - cs *)
+  let rpc1 =
+    List.find
+      (fun (e : Trace.event) -> e.Trace.a = Obs.Merge.op_rpc && e.Trace.uid = 1)
+      spans
+  in
+  Alcotest.(check int) "rpc start" (10_000 + d) rpc1.Trace.ts;
+  Alcotest.(check int) "rpc duration" 4000 rpc1.Trace.b;
+  (* and the checker still accepts the merged, span-bearing snapshot *)
+  match Check.run with_spans.Trace.events with
+  | Ok _ -> ()
+  | Error (v :: _) ->
+      Alcotest.failf "merged trace rejected: %s" v.Check.v_detail
+  | Error [] -> assert false
+
+let test_merge_no_correlation () =
+  let client =
+    mk_snap [| evt ~seq:0 ~ts:0 ~dom:0 Trace.Req_send 1 |]
+  in
+  let server = mk_snap [| evt ~seq:0 ~ts:0 ~dom:0 Trace.Alloc 9 |] in
+  (match Obs.Merge.estimate_offset ~client ~server with
+  | None -> ()
+  | Some _ -> Alcotest.fail "correlation from unrelated traces");
+  let corr, merged = Obs.Merge.merge ~client ~server in
+  Alcotest.(check int) "pairs" 0 corr.Obs.Merge.pairs;
+  Alcotest.(check int) "offset falls back to 0" 0 corr.Obs.Merge.offset_ns;
+  Alcotest.(check int) "both events kept" 2 (Array.length merged.Trace.events)
+
 let () =
   Alcotest.run "obs"
     [
@@ -334,6 +580,33 @@ let () =
             test_phantom_uid_rejected;
           Alcotest.test_case "wraparound horizon suppresses incomplete" `Quick
             test_horizon_suppresses_incomplete;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram family rendering" `Quick
+            test_metrics_histogram;
+          Alcotest.test_case "invalid label keys rejected" `Quick
+            test_metrics_label_key_rejected;
+          Alcotest.test_case "label values escaped" `Quick
+            test_metrics_label_value_escaped;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "request parsing: 200/404/405/400" `Quick
+            test_exposition_handle_request;
+          Alcotest.test_case "live scrape with partial writes" `Quick
+            test_exposition_live_scrape;
+          Alcotest.test_case "killed write leaves endpoint alive" `Quick
+            test_exposition_survives_write_kill;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "NTP-style offset recovered exactly" `Quick
+            test_merge_offset;
+          Alcotest.test_case "merge rebases client, synthesizes spans" `Quick
+            test_merge_rebases_and_spans;
+          Alcotest.test_case "unrelated traces: no pairs, offset 0" `Quick
+            test_merge_no_correlation;
         ] );
       ( "real-traces",
         [
