@@ -1,0 +1,101 @@
+(** Control-flow graphs over Parsetree expressions (DESIGN.md §15).
+
+    One CFG per function (top-level or nested helper). Nodes carry abstract
+    {e events} — the protection-relevant effects of the code in build order
+    — plus successor edges; {!Solver} propagates per-object lattice facts
+    across the edges and {!Rules_flow} replays the events against solved
+    states. Objects are allocated at build time; the builtin contracts of
+    the [Smr_intf] automaton (protect / validate / retire / crit / offer)
+    are applied here as branch refinements and state events. *)
+
+type objset = int list
+(** Sorted, deduped object-id set. *)
+
+type value = { whole : objset; slots : objset array }
+(** An expression's objects, plus per-component sets when it is a
+    top-level tuple/constructor application — the "slots" that keep
+    destructured call results precise. *)
+
+type callee = Local of int | Ext of Summary.fn
+
+type ev =
+  | Fresh of int * Lattice.state
+  | Set_state of objset * Lattice.state
+  | Protect of objset
+      (** hazard-slot announce: Raw/Neutral rise to Protected, but an
+          already-Validated object keeps its validation (re-announcing in a
+          fresh guard does not revoke it) *)
+  | Validate_protected  (** all Protected objects become Validated *)
+  | Scheme_safe
+      (** [needs_protection = false] branch: the scheme guards raw reads
+          with its crit section, so every Raw/Protected object is safe *)
+  | Demote_all  (** crit-exit/release: Protected and Validated drop to Raw *)
+  | Publish of objset  (** stored into shared state as a CAS/set new-value *)
+  | Retire of objset * Location.t
+  | Deref of objset * string * Location.t  (** field access through objs *)
+  | Use of objset * Location.t  (** passed to an unknown call *)
+  | Ret of value * Location.t  (** function return site *)
+  | Store of objset * Location.t  (** written into a mutable field *)
+  | Blocking of string * Location.t
+  | Call of {
+      callee : callee;
+      args : objset array;  (** per callee param position *)
+      ret_whole : int;
+      ret_slots : int array;
+      loc : Location.t;
+    }
+
+type node = {
+  n_id : int;
+  mutable n_evs : ev list;  (** reversed during build *)
+  mutable n_succs : int list;
+  n_frozen : bool;  (** inside a try_unlink callback region *)
+  n_crit : bool;  (** lexically inside a critical section *)
+}
+
+type func = {
+  fn_id : int;
+  fn_name : string;
+  fn_loc : Location.t;
+  fn_params : (string option * string list) list;
+  fn_param_objs : int array;
+  mutable fn_nodes : node list;  (** reverse build order *)
+  mutable fn_nnodes : int;
+  fn_entry : int;
+  mutable fn_exit : int;
+  mutable fn_nobjs : int;
+  fn_derived : (objset * string, int) Hashtbl.t;
+  mutable fn_quiescent : Location.t list;
+  mutable fn_sync : bool;  (** CASes, retires, protects or enters crit *)
+  mutable fn_crit : bool;  (** enters a critical section itself *)
+  fn_toplevel : bool;
+}
+
+type site = { st_callee : int; st_caller : int; st_frozen : bool }
+(** A call-graph edge, with whether the call site sits in a frozen region:
+    drives the frozen-exemption fixpoint in {!Rules_flow}. *)
+
+type file = {
+  mutable fs : func list;  (** reverse registration order *)
+  mutable nf : int;
+  mutable sites : site list;
+  ext : qual:string option -> string -> Summary.fn option;
+  summaries : int -> Summary.fn option;  (** previous iteration, by fid *)
+}
+
+val funcs_array : file -> func array
+(** Functions in registration (= fid) order. *)
+
+val nodes_of : func -> node array
+(** Nodes indexed by [n_id]; entry is node 0. *)
+
+val build_file :
+  ext:(qual:string option -> string -> Summary.fn option) ->
+  summaries:(int -> Summary.fn option) ->
+  Parsetree.structure ->
+  file
+(** Build every top-level function of the structure (pre-registering the
+    whole group so mutual recursion resolves); nested helpers register
+    themselves during the build. [summaries] supplies the previous
+    iteration's summaries by fid, [ext] resolves qualified cross-file
+    calls. *)

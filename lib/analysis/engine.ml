@@ -1,4 +1,16 @@
-(* Rule dispatch by path scope, pragma suppression, and aggregation. *)
+(* Rule dispatch by path scope, pragma suppression, and aggregation.
+
+   v2 layering: the v1 syntactic rules (R2–R5) run as a fast pre-pass —
+   they are cheap and their findings are locational in ways the dataflow
+   engine does not replicate — then the flow rules (F1–F7, rules_flow.ml)
+   run per scope. R1 is subsumed by F1 and kept only under [v1:true].
+
+   Cross-file resolution is by summary sidecar: each analyzed file's
+   top-level summaries accumulate into a table (keyed "stem.name"), and a
+   qualified call [C.try_protect] in a later file resolves through the
+   lowercased qualifier. Files are visited in sorted order, so in-tree
+   resolution is deterministic; a [--summaries-in] table from a previous
+   run covers arbitrary cross-file orders. *)
 
 (* A scope is a sequence of adjacent path components; ["lib"; "ds"] matches
    any file living under a .../lib/ds/... directory, wherever the tree was
@@ -32,32 +44,65 @@ let shared_state_scope =
   [
     [ "lib"; "smr" ]; [ "lib"; "smr_core" ]; [ "lib"; "core" ];
     [ "lib"; "ebr" ]; [ "lib"; "pebr" ]; [ "lib"; "hp" ];
+    [ "lib"; "net" ]; [ "lib"; "obs" ];
   ]
 
 let lib_scope = [ [ "lib" ] ]
+let lint_scope = [ [ "lib" ]; [ "bin" ] ]
+
+let checks_for path =
+  {
+    Rules_flow.c_deref = under path ds_scope;
+    c_retire = under path ds_scope || under path scheme_scope;
+    c_handoff = under path scheme_scope;
+    c_crit = under path lint_scope;
+    c_counter = under path lint_scope;
+    c_quiescent = under path ds_scope;
+  }
 
 type report = {
   findings : Finding.t list;  (** unsuppressed, sorted *)
   suppressed : (Finding.t * string) list;  (** finding, pragma reason *)
   files : int;
+  summaries : Summary.table;
+      (** top-level summaries of every analyzed file, keyed "stem.name" *)
 }
 
-let raw_findings ~path ~mli_exists (src : Source.t) =
+let stem_of path =
+  String.lowercase_ascii (Filename.remove_extension (Filename.basename path))
+
+let ext_of_table table ~qual last =
+  match qual with
+  | Some q -> Summary.lookup table ~stem:(String.lowercase_ascii q) last
+  | None -> None
+
+let raw_findings ~v1 ~table ~path ~mli_exists (src : Source.t) =
   match src.ast with
   | None ->
       let line, msg = Option.value src.parse_failure ~default:(1, "parse error") in
       [ Finding.make Finding.parse_error ~file:path ~line msg ]
   | Some ast ->
-      List.concat
-        [
-          (if under path ds_scope then Rules.r1_check ~file:path ast else []);
-          (if under path scheme_scope then Rules.r2_check ~file:path ast else []);
-          (if under path shared_state_scope then Rules.r3_check ~file:path ast
-           else []);
-          (if under path lib_scope then Rules.r4_check ~file:path ast else []);
-          (if under path lib_scope then Rules.r5_check ~file:path ~mli_exists ()
-           else []);
-        ]
+      let syntactic =
+        List.concat
+          [
+            (if v1 && under path ds_scope then Rules.r1_check ~file:path ast
+             else []);
+            (if under path scheme_scope then Rules.r2_check ~file:path ast
+             else []);
+            (if under path shared_state_scope then Rules.r3_check ~file:path ast
+             else []);
+            (if under path lint_scope then Rules.r4_check ~file:path ast else []);
+            (if under path lib_scope then Rules.r5_check ~file:path ~mli_exists ()
+             else []);
+          ]
+      in
+      let flow, exports =
+        Rules_flow.run ~file:path ~checks:(checks_for path)
+          ~ext:(ext_of_table table) ast
+      in
+      let stem = stem_of path in
+      List.iter (fun s -> Summary.add table ~stem s) exports;
+      syntactic @ flow
 
 (* A pragma suppresses a finding when the rule matches and — for line-scope
    rules — the pragma sits on the finding's line or the line above. Pragmas
@@ -108,18 +153,20 @@ let apply_pragmas (src : Source.t) findings =
   in
   (kept @ unused @ bad, suppressed)
 
-let analyze_source ?(mli_exists = false) ~path text =
+let analyze_source ?(mli_exists = false) ?(v1 = false) ?table ~path text =
+  let table = match table with Some t -> t | None -> Summary.empty_table () in
   let src = Source.of_string ~path text in
-  let findings = raw_findings ~path ~mli_exists src in
+  let findings = raw_findings ~v1 ~table ~path ~mli_exists src in
   apply_pragmas src findings
 
-let analyze_file path =
+let analyze_file ?(v1 = false) ?table path =
+  let table = match table with Some t -> t | None -> Summary.empty_table () in
   let src = Source.load path in
   let mli_exists =
     Filename.check_suffix path ".ml"
     && Sys.file_exists (Filename.remove_extension path ^ ".mli")
   in
-  let findings = raw_findings ~path ~mli_exists src in
+  let findings = raw_findings ~v1 ~table ~path ~mli_exists src in
   apply_pragmas src findings
 
 let rec ml_files_under path acc =
@@ -133,14 +180,15 @@ let rec ml_files_under path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let run paths =
+let run ?(v1 = false) ?table paths =
+  let table = match table with Some t -> t | None -> Summary.empty_table () in
   let files =
     List.concat_map (fun p -> List.rev (ml_files_under p [])) paths
   in
   let findings, suppressed =
     List.fold_left
       (fun (fs, ss) file ->
-        let f, s = analyze_file file in
+        let f, s = analyze_file ~v1 ~table file in
         (f @ fs, s @ ss))
       ([], []) files
   in
@@ -148,4 +196,5 @@ let run paths =
     findings = List.sort Finding.compare findings;
     suppressed = List.sort (fun (a, _) (b, _) -> Finding.compare a b) suppressed;
     files = List.length files;
+    summaries = table;
   }

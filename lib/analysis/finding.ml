@@ -63,6 +63,87 @@ let r5 =
     summary = "module has no .mli and exports everything";
   }
 
+(* Flow rules (smr_lint v2): produced by the dataflow engine in
+   rules_flow.ml rather than the syntactic pass. F1 subsumes R1, which is
+   kept only under [--v1]. *)
+
+let f1 =
+  {
+    id = "F1";
+    slug = "unvalidated-deref";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "dereference of a shared-read pointer on a path where Validated does \
+       not dominate (still raw, or protected but never validated)";
+  }
+
+let f2 =
+  {
+    id = "F2";
+    slug = "protected-escape";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "a merely-Protected pointer escapes its protection window (returned \
+       or stored before validation)";
+  }
+
+let f3 =
+  {
+    id = "F3";
+    slug = "use-after-retire";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "flow error around retirement: dereference of a retired/invalidated \
+       pointer, or retire of an already-published node";
+  }
+
+let f4 =
+  {
+    id = "F4";
+    slug = "collector-handoff";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "mutator-side use of a retire bag after Collector.offer succeeded \
+       (ownership moved to the background collector)";
+  }
+
+let f5 =
+  {
+    id = "F5";
+    slug = "crit-hygiene";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "blocking operation (fault gate wait, socket/file I/O, domain join) \
+       inside an EBR/PEBR critical section";
+  }
+
+let f6 =
+  {
+    id = "F6";
+    slug = "counter-read-order";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "unsequenced monotonic-counter reads in one subtraction (OCaml \
+       evaluates operands right-to-left; bind the increasing side first)";
+  }
+
+let f7 =
+  {
+    id = "F7";
+    slug = "quiescent-mixing";
+    file_scope = false;
+    suppressible = true;
+    summary =
+      "declared quiescent read (Link.get_quiescent) in a function that \
+       also synchronizes (protects, CASes, retires or enters crit)";
+  }
+
 let unused_pragma =
   {
     id = "P1";
@@ -90,15 +171,20 @@ let parse_error =
     summary = "source file failed to parse";
   }
 
-let all_rules = [ r1; r2; r3; r4; r5; unused_pragma; bad_pragma; parse_error ]
+let all_rules =
+  [ r1; r2; r3; r4; r5; f1; f2; f3; f4; f5; f6; f7; unused_pragma; bad_pragma;
+    parse_error ]
 
 let rule_matches rule token =
   let t = String.lowercase_ascii token in
   t = String.lowercase_ascii rule.id || t = rule.slug
 
-type t = { rule : rule; file : string; line : int; message : string }
+(* [col] is 1-based and carried for SARIF only: the human and JSON
+   renderings below do not print it, so their output stays byte-identical
+   to v1 (pinned by test_analysis). *)
+type t = { rule : rule; file : string; line : int; col : int; message : string }
 
-let make rule ~file ~line message = { rule; file; line; message }
+let make ?(col = 1) rule ~file ~line message = { rule; file; line; col; message }
 
 let compare a b =
   match String.compare a.file b.file with

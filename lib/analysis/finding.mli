@@ -21,6 +21,20 @@ val r4 : rule  (** unguarded-trace-alloc *)
 
 val r5 : rule  (** missing-mli *)
 
+val f1 : rule  (** unvalidated-deref (flow; subsumes R1) *)
+
+val f2 : rule  (** protected-escape (flow) *)
+
+val f3 : rule  (** use-after-retire (flow) *)
+
+val f4 : rule  (** collector-handoff (flow) *)
+
+val f5 : rule  (** crit-hygiene (flow) *)
+
+val f6 : rule  (** counter-read-order *)
+
+val f7 : rule  (** quiescent-mixing (flow) *)
+
 val unused_pragma : rule  (** P1: a pragma that suppressed nothing *)
 
 val bad_pragma : rule  (** P2: an unparsable smr-lint pragma *)
@@ -32,9 +46,18 @@ val all_rules : rule list
 val rule_matches : rule -> string -> bool
 (** Does a pragma token (id or slug, case-insensitive) name this rule? *)
 
-type t = { rule : rule; file : string; line : int; message : string }
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;  (** 1-based; carried for SARIF, not printed by human/JSON *)
+  message : string;
+}
 
-val make : rule -> file:string -> line:int -> string -> t
+val make : ?col:int -> rule -> file:string -> line:int -> string -> t
+(** [col] defaults to 1. *)
+
 val compare : t -> t -> int
 val to_human : t -> string
 val to_json : t -> string
+val json_escape : string -> string

@@ -28,3 +28,37 @@ val r4_check : file:string -> Parsetree.structure -> Finding.t list
 
 val r5_check : file:string -> mli_exists:bool -> unit -> Finding.t list
 (** Missing-mli. *)
+
+(** {1 Shared Parsetree helpers}
+
+    Reused by the v2 CFG builder ({!Cfg}) and flow rules ({!Rules_flow}). *)
+
+val lident_parts : Longident.t -> string list
+
+val app_head_name :
+  Parsetree.expression -> (string option * string) option
+(** Last one/two components of an application head's path ([Some (qual,
+    last)]), if the head is an identifier or field projection. *)
+
+val line_of_loc : Location.t -> int
+val cnum_of_loc : Location.t -> int
+
+val iter_expr : (Parsetree.expression -> unit) -> Parsetree.expression -> unit
+(** Call [f] on every sub-expression. *)
+
+val contains_app :
+  (string option -> string -> bool) -> Parsetree.expression -> bool
+(** Does [e] contain an application whose head matches [pred qual last]? *)
+
+type func = {
+  f_name : string;
+  f_body : Parsetree.expression;
+  f_loc : Location.t;
+}
+(** A top-level [let]-bound function (recursing into module/functor
+    bodies). *)
+
+val funcs_of_file : Parsetree.structure -> func list
+
+val pattern_vars : Parsetree.pattern -> string list
+(** Variables bound by a pattern (vars and aliases), innermost first. *)

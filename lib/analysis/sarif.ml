@@ -1,0 +1,30 @@
+(* SARIF 2.1.0 rendering of a finding list (--sarif). One run, one tool,
+   column-accurate physical locations; the rules catalogue carries every
+   rule's slug and summary so viewers can group by ruleId. *)
+
+let esc = Finding.json_escape
+
+let rule_json (r : Finding.rule) =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"name\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+    (esc r.Finding.id) (esc r.Finding.slug) (esc r.Finding.summary)
+
+let result_json (f : Finding.t) =
+  Printf.sprintf
+    "{\"ruleId\":\"%s\",\"level\":\"error\",\"message\":{\"text\":\"%s\"},\
+     \"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\
+     \"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+    (esc f.Finding.rule.Finding.id)
+    (esc f.Finding.message) (esc f.Finding.file) f.Finding.line f.Finding.col
+
+let render findings =
+  let rules =
+    String.concat ",\n      " (List.map rule_json Finding.all_rules)
+  in
+  let results = String.concat ",\n    " (List.map result_json findings) in
+  Printf.sprintf
+    "{\"version\":\"2.1.0\",\"$schema\":\
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":\
+     {\"driver\":{\"name\":\"smr_lint\",\"rules\":[\n      %s]}},\
+     \"results\":[\n    %s]}]}\n"
+    rules results

@@ -1,0 +1,4 @@
+(** SARIF 2.1.0 rendering of findings ([--sarif]): one run, one tool,
+    column-accurate physical locations. *)
+
+val render : Finding.t list -> string

@@ -1,0 +1,45 @@
+(** Worklist fixpoint over a function CFG, plus the shared event transfer
+    function. Two consumers: summarization (Raw-seeded parameters) and the
+    error pass in {!Rules_flow} (Neutral-seeded). *)
+
+type obs = {
+  ob_deref : int -> Lattice.fact -> string -> Location.t -> unit;
+  ob_use : int -> Lattice.fact -> Location.t -> unit;
+  ob_retire : int -> Lattice.fact -> Location.t -> unit;
+      (** observed before the retire transfer, so the published bit and
+          the prior state are still visible *)
+  ob_ret : int -> Lattice.fact -> Location.t -> unit;
+  ob_store : int -> Lattice.fact -> Location.t -> unit;
+}
+
+val silent : obs
+
+val apply :
+  lookup:(Cfg.callee -> Summary.fn option) ->
+  obs:obs ->
+  Lattice.fact array ->
+  Cfg.ev ->
+  unit
+(** Apply one event to a fact array in place, firing observer callbacks at
+    deref/use/retire/return/store sites. *)
+
+val solve :
+  lookup:(Cfg.callee -> Summary.fn option) ->
+  Cfg.func ->
+  seed:Lattice.state ->
+  Lattice.t array
+(** Per-node in-states at fixpoint; entry seeds every parameter object
+    with [seed]. *)
+
+val replay :
+  lookup:(Cfg.callee -> Summary.fn option) ->
+  obs:obs ->
+  Cfg.func ->
+  Lattice.t array ->
+  unit
+(** Replay every reachable node's events against its solved in-state with
+    a live observer. *)
+
+val summarize :
+  lookup:(Cfg.callee -> Summary.fn option) -> Cfg.func -> Summary.fn
+(** Raw-seeded summary of one function under the current summary table. *)

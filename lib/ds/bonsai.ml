@@ -220,7 +220,6 @@ module Make (S : Smr.Smr_intf.S) = struct
       in
       (* Old nodes are those not created by this operation. The created list
          is short (O(log n)), so membership by physical scan is fine. *)
-      (* smr-lint: allow R1 — ctx is a function-local record; old nodes read by the rebuild callback are protected per level via guard_old (S.protect) *)
       let is_old n = not (List.memq n ctx.created) in
       match rebuild ctx ~is_old root_rec with
       | None -> `Done_noop
@@ -465,31 +464,28 @@ module Make (S : Smr.Smr_intf.S) = struct
   let to_list t =
     let rec walk acc = function
       | None -> acc
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       | Some n -> walk ((n.key, n.value) :: walk acc n.right) n.left
     in
-    walk [] (Tagged.ptr (Link.get t.root))
+    walk [] (Tagged.ptr (Link.get_quiescent t.root))
 
-  let size_quiescent t = node_size (Tagged.ptr (Link.get t.root))
+  let size_quiescent t = node_size (Tagged.ptr (Link.get_quiescent t.root))
   let size t = size_quiescent t
 
   let assert_reachable_not_freed t =
     let rec walk = function
       | None -> ()
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
           walk n.left;
           walk n.right
     in
-    walk (Tagged.ptr (Link.get t.root))
+    walk (Tagged.ptr (Link.get_quiescent t.root))
 
   (* Balance invariant check for tests. *)
   let assert_balanced t =
     let rec walk = function
       | None -> ()
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (n.size = node_size n.left + node_size n.right + 1);
           if weight n.left + weight n.right > 2 then begin
             assert (weight n.left <= delta * weight n.right);
@@ -498,5 +494,5 @@ module Make (S : Smr.Smr_intf.S) = struct
           walk n.left;
           walk n.right
     in
-    walk (Tagged.ptr (Link.get t.root))
+    walk (Tagged.ptr (Link.get_quiescent t.root))
 end

@@ -206,7 +206,6 @@ module Make (S : Smr.Smr_intf.S) = struct
     | Some sibling ->
         ignore
           (S.try_unlink l.handle
-             (* smr-lint: allow R1 — p is marked and gp holds DFlag, freezing p's child edges; sibling cannot be retired before the splice and is the try_unlink frontier *)
              ~frontier:[ sibling.hdr ]
              ~do_unlink:(fun () ->
                if
@@ -228,7 +227,6 @@ module Make (S : Smr.Smr_intf.S) = struct
     end
     else
       let current = Atomic.get op.d_p.update in
-      (* smr-lint: allow R1 — current is an update descriptor, GC-managed and never retired through SMR; only tree nodes need protection *)
       match (current.state, current.info) with
       | Mark, Some (D o) when o == op ->
           help_marked l op dflag_rec;
@@ -409,13 +407,12 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let to_list t =
     let rec walk n acc =
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       match n.kind with
       | Leaf ->
           if n.key >= inf1 then acc else (n.key, Option.get n.value) :: acc
       | Internal ->
           let go link acc =
-            match Tagged.ptr (Link.get link) with
+            match Tagged.ptr (Link.get_quiescent link) with
             | Some m -> walk m acc
             | None -> acc
           in
@@ -427,10 +424,9 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let assert_reachable_not_freed t =
     let rec walk n =
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       assert (not (Mem.is_freed n.hdr));
       let go link =
-        match Tagged.ptr (Link.get link) with
+        match Tagged.ptr (Link.get_quiescent link) with
         | Some m -> walk m
         | None -> ()
       in

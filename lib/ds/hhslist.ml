@@ -94,7 +94,6 @@ module Make (S : Smr.Smr_intf.S) = struct
       if is_until n then List.rev acc
       else
         let acc = n :: acc in
-        (* smr-lint: allow R1 — runs inside do_unlink on the just-unlinked chain: every node is marked so links are frozen, and the frontier anchor is protected by try_unlink *)
         match Tagged.ptr (Link.get n.next) with
         | Some m -> walk m acc
         | None -> List.rev acc
@@ -283,14 +282,13 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> List.rev acc
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
-          let next_t = Link.get n.next in
+          let next_t = Link.get_quiescent n.next in
           let acc =
             if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
           in
           walk acc next_t
     in
-    walk [] (Link.get t.head)
+    walk [] (Link.get_quiescent t.head)
 
   let size t = List.length (to_list t)
 
@@ -299,9 +297,8 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> ()
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
-          walk (Link.get n.next)
+          walk (Link.get_quiescent n.next)
     in
-    walk (Link.get t.head)
+    walk (Link.get_quiescent t.head)
 end

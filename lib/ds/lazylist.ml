@@ -115,7 +115,6 @@ module Make (S : Smr.Smr_intf.S) = struct
      on. *)
   let validated t ~pred ~cur f =
     Mutex.lock (pred_lock t pred);
-    (* smr-lint: allow R1 — pred and cur are locked before any deref; locked, unmarked nodes cannot be unlinked, hence never invalidated or freed (Heller validation) *)
     (match cur with Some c -> Mutex.lock c.lock | None -> ());
     let ok =
       (not (pred_marked pred))
@@ -162,6 +161,7 @@ module Make (S : Smr.Smr_intf.S) = struct
                       n
                 in
                 match
+                  (* smr-lint: allow F1 — validated locks pred and cur before any deref; locked, unmarked nodes cannot be unlinked, hence never invalidated or freed (Heller validation) *)
                   validated t ~pred ~cur (fun () ->
                       Link.set node.next (Tagged.make cur);
                       Link.set (pred_link t pred) (Tagged.make (Some node)))
@@ -179,6 +179,7 @@ module Make (S : Smr.Smr_intf.S) = struct
             else if Atomic.get cur.marked then `Done false
             else (
               match
+                (* smr-lint: allow F1 — validated locks pred and cur before any deref; locked, unmarked nodes cannot be unlinked, hence never invalidated or freed (Heller validation) *)
                 validated t ~pred ~cur:(Some cur) (fun () ->
                     (* logical deletion: the linearization point *)
                     Atomic.set cur.marked true;
@@ -212,12 +213,11 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> List.rev acc
       | Some n ->
           let acc =
-            (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
             if Atomic.get n.marked then acc else (n.key, n.value) :: acc
           in
-          go acc (Link.get n.next)
+          go acc (Link.get_quiescent n.next)
     in
-    go [] (Link.get t.head_link)
+    go [] (Link.get_quiescent t.head_link)
 
   let size t = List.length (to_list t)
 
@@ -226,9 +226,8 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> ()
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           assert (not (Mem.is_freed n.hdr));
-          go (Link.get n.next)
+          go (Link.get_quiescent n.next)
     in
-    go (Link.get t.head_link)
+    go (Link.get_quiescent t.head_link)
 end

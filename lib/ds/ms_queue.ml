@@ -111,11 +111,10 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> List.rev acc
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
           let acc = match n.value with Some v -> v :: acc | None -> acc in
-          walk acc (Link.get n.next)
+          walk acc (Link.get_quiescent n.next)
     in
-    walk [] (Link.get t.head)
+    walk [] (Link.get_quiescent t.head)
 
   let length t = List.length (to_list t)
 end

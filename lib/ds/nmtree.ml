@@ -209,7 +209,6 @@ module Make (S : Smr.Smr_intf.S) = struct
   let collect_spliced successor key =
     let rec walk n acc =
       let acc = n :: acc in
-      (* smr-lint: allow R1 — runs inside do_unlink on the spliced-out routing path: every edge on it is flagged or tagged, hence frozen; the walk starts at the protected successor *)
       if n.kind = Leaf then List.rev acc
       else
         match Tagged.ptr (Link.get (child_link n key)) with
@@ -242,7 +241,6 @@ module Make (S : Smr.Smr_intf.S) = struct
     | None -> false
     | Some sibling ->
         S.try_unlink l.handle
-          (* smr-lint: allow R1 — the leaf's parent edge is flagged and the sibling edge tagged, freezing both; sibling cannot be retired before the ancestor splice and is the try_unlink frontier *)
           ~frontier:[ sibling.hdr ]
           ~do_unlink:(fun () ->
             if
@@ -350,14 +348,13 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let to_list t =
     let rec walk n acc =
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       match n.kind with
       | Leaf ->
           if n.key >= inf1 then acc
           else (n.key, Option.get n.value) :: acc
       | Internal ->
           let go link acc =
-            match Tagged.ptr (Link.get link) with
+            match Tagged.ptr (Link.get_quiescent link) with
             | Some m -> walk m acc
             | None -> acc
           in
@@ -369,10 +366,9 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let assert_reachable_not_freed t =
     let rec walk n =
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       assert (not (Mem.is_freed n.hdr));
       let go link =
-        match Tagged.ptr (Link.get link) with
+        match Tagged.ptr (Link.get_quiescent link) with
         | Some m -> walk m
         | None -> ()
       in

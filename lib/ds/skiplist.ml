@@ -360,14 +360,13 @@ module Make (S : Smr.Smr_intf.S) = struct
       match Tagged.ptr tg with
       | None -> List.rev acc
       | Some n ->
-          (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
-          let next_t = Link.get n.next.(0) in
+          let next_t = Link.get_quiescent n.next.(0) in
           let acc =
             if Tagged.is_deleted next_t then acc else (n.key, n.value) :: acc
           in
           walk acc next_t
     in
-    walk [] (Link.get t.head.(0))
+    walk [] (Link.get_quiescent t.head.(0))
 
   let size t = List.length (to_list t)
 
@@ -378,10 +377,9 @@ module Make (S : Smr.Smr_intf.S) = struct
           match Tagged.ptr tg with
           | None -> ()
           | Some n ->
-              (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
               assert (not (Mem.is_freed n.hdr));
-              walk (Link.get n.next.(0))
+              walk (Link.get_quiescent n.next.(0))
         in
-        walk (Link.get link))
+        walk (Link.get_quiescent link))
       t.head
 end

@@ -75,10 +75,9 @@ module Make (S : Smr.Smr_intf.S) = struct
   let to_list t =
     let rec walk acc = function
       | None -> List.rev acc
-      (* smr-lint: allow R1 — quiescent test/stats helper: callers run it with no concurrent writers, so no node can be retired mid-walk *)
       | Some n -> walk (n.value :: acc) n.next
     in
-    walk [] (Tagged.ptr (Link.get t.top))
+    walk [] (Tagged.ptr (Link.get_quiescent t.top))
 
   let length t = List.length (to_list t)
 end

@@ -59,7 +59,9 @@ type t = {
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
   inbox_lock : Mutex.t;
+  (* smr-lint: allow R3 — every access holds inbox_lock; see add/adopt *)
   mutable inbox : Unix.file_descr list;
+  (* smr-lint: allow R3 — owned by the reactor domain; sampler-side reads are deliberately racy gauges (comment above queued_depth) *)
   mutable conns : conn list;
   stop : bool Atomic.t;
   make_handler : unit -> handler;

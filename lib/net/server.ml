@@ -27,9 +27,11 @@ module Make (S : Smr.Smr_intf.S) = struct
     listeners : Unix.file_descr list;
     reactors : Reactor.t array;
     accept_stop : bool Atomic.t;
+    (* smr-lint: allow R3 — lifecycle field touched only by the controlling domain (start/stop); spawned domains never read it *)
     mutable domains : unit Domain.t list;
     counters : Reactor.counters;
     started_at : float;
+    (* smr-lint: allow R3 — lifecycle field touched only by the controlling domain (start/stop) *)
     mutable exposition : Obs.Exposition.t option;
   }
 

@@ -22,12 +22,15 @@ type t = {
   every : float;
   chunk : int;
   sample : Metrics.t -> unit;
+  (* smr-lint: allow R3 — written and read only on the listener domain (refresh_page runs inside its select loop) *)
   mutable page : string;
+  (* smr-lint: allow R3 — written and read only on the listener domain *)
   mutable page_at : float;
   scrapes : int Atomic.t;
   stop_flag : bool Atomic.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
+  (* smr-lint: allow R3 — lifecycle field touched only by the controlling domain (start sets it, stop joins and clears) *)
   mutable dom : unit Domain.t option;
 }
 

@@ -3,6 +3,7 @@ type 'a t = 'a Tagged.t Atomic.t
 let make tagged = Atomic.make tagged
 let null () = Atomic.make Tagged.null
 let get = Atomic.get
+let get_quiescent = Atomic.get
 let cas l expected desired = Atomic.compare_and_set l expected desired
 
 let cas_clean l expected desired =

@@ -6,6 +6,15 @@ val make : 'a Tagged.t -> 'a t
 val null : unit -> 'a t
 val get : 'a t -> 'a Tagged.t
 
+val get_quiescent : 'a t -> 'a Tagged.t
+(** [get] under a declared quiescence contract: the caller asserts no
+    concurrent writer exists (single-domain tests, post-shutdown audits,
+    debug walkers), so the read needs no protection before dereference.
+    smr_lint tracks the result as [Quiescent] — exempt from the
+    validation-dominates rule (F1) — and flags any function that both
+    declares quiescence and synchronizes (F7 quiescent-mixing), so the
+    contract cannot silently leak into concurrent paths. *)
+
 val cas : 'a t -> 'a Tagged.t -> 'a Tagged.t -> bool
 (** Compare-and-set by physical equality of the tagged record previously
     read with {!get}. *)

@@ -1,0 +1,13 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F1 seed: the classic raw traversal. Every node is fetched with a plain
+   Link.get and dereferenced with no protection, so Validated never
+   dominates the field accesses. *)
+
+let lookup t key =
+  let rec go l =
+    match Tagged.ptr (Link.get l) with
+    | None -> None
+    | Some n -> if n.key = key then Some n.value else go n.next
+  in
+  go t.head

@@ -1,0 +1,15 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F1 good twin: the same traversal validated step by step through
+   try_protect, so every dereference happens under a Validated pointer. *)
+
+let lookup t l key =
+  let rec go src link expected =
+    match C.try_protect ~src ~node_header l.hp link expected with
+    | C.Invalid -> None
+    | C.Ok cur -> (
+        match Tagged.ptr cur with
+        | None -> None
+        | Some n -> if n.key = key then Some n.value else go None n.next cur)
+  in
+  go None t.head (Link.get t.head)

@@ -1,0 +1,18 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F3 good twin: Treiber pop — the node is unlinked by the CAS before it
+   is retired, and reading [n.value] after the retire is legal because
+   this domain still holds the validated protection. *)
+
+let pop t l =
+  match C.try_protect ~src:None ~node_header l.hp t.head (Link.get t.head) with
+  | C.Invalid -> None
+  | C.Ok cur -> (
+      match Tagged.ptr cur with
+      | None -> None
+      | Some n ->
+          if Link.cas t.head cur (Link.get n.next) then begin
+            S.retire l.handle cur;
+            Some n.value
+          end
+          else None)

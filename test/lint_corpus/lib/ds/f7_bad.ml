@@ -1,0 +1,9 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F7 seed: a declared quiescent read in a function that also CASes. The
+   no-concurrent-writers contract of Link.get_quiescent cannot hold in a
+   function that itself synchronizes. *)
+
+let rotate t =
+  let cur = Link.get_quiescent t.head in
+  ignore (Link.cas t.head cur cur)

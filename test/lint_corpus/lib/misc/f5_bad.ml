@@ -1,0 +1,9 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F5 seed: a blocking socket write inside an epoch critical section. A
+   stalled peer pins this domain's epoch and with it every domain's
+   reclamation. *)
+
+let publish handle stats fd page =
+  with_crit handle stats (fun () ->
+      ignore (Unix.write fd page 0 (Bytes.length page)))

@@ -1,0 +1,8 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F5 good twin: the crit section only snapshots; the blocking write
+   happens after crit-exit. *)
+
+let publish handle stats fd =
+  let page = with_crit handle stats (fun () -> render stats) in
+  ignore (Unix.write fd page 0 (Bytes.length page))

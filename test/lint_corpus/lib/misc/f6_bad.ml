@@ -1,0 +1,8 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F6 seed: PR 2's stats read-order bug, resurrected per ISSUE 9. Both
+   operands of one subtraction sweep monotonic counters; OCaml evaluates
+   operands right-to-left, so the decreasing side (freed) is swept first
+   and a reader preempted between the sweeps observes an overshoot. *)
+
+let unreclaimed s = retired_total s - freed s

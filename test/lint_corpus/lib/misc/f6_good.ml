@@ -1,0 +1,8 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F6 good twin: the increasing side is bound first, so the subtraction
+   can only undershoot (a momentarily stale gauge, never a phantom). *)
+
+let unreclaimed s =
+  let r = retired_total s in
+  r - freed s

@@ -1,0 +1,7 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R4 seed: a Trace.emit argument that allocates with no
+   `if Trace.enabled ()` guard — the cost is paid even when tracing is
+   off. *)
+
+let record t n = Trace.emit Trace.Retire (List.length (collect t n)) 0 0

@@ -1,0 +1,7 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R4 good twin: the allocating emit is guarded. *)
+
+let record t n =
+  if Trace.enabled () then
+    Trace.emit Trace.Retire (List.length (collect t n)) 0 0

@@ -1,0 +1,4 @@
+(* R5 seed: a lib module with no .mli and no suppression — the only
+   corpus file without the allow missing-mli pragma, by design. *)
+
+let x = 1

@@ -1,0 +1,11 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F4 seed: mutator-side use of a retire bag after Collector.offer
+   succeeded. The ring owns the bag from the success point on; freeing it
+   here races the collector domain's drain. *)
+
+let flush t =
+  let bag = t.pending in
+  if Collector.offer t.ring bag then
+    List.iter (fun h -> Mem.free_mark h) bag
+  else push_back t bag

@@ -1,0 +1,10 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* F4 good twin: on offer success the bag slot is replaced and never
+   touched again; the inline free runs only on the failure path, where the
+   mutator still owns the bag. *)
+
+let flush t =
+  let bag = t.pending in
+  if Collector.offer t.ring bag then t.pending <- []
+  else List.iter (fun h -> Mem.free_mark h) bag

@@ -1,0 +1,9 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R2 seed: frees precede batch invalidation, so a concurrent reader can
+   still validate a protection on memory that is already gone. *)
+
+let flush d =
+  List.iter (fun h -> Mem.free_mark h) d.bag;
+  do_invalidation d.bag;
+  d.bag <- []

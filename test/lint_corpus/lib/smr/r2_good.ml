@@ -1,0 +1,8 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R2 good twin: invalidation first, then the frees. *)
+
+let flush d =
+  do_invalidation d.bag;
+  List.iter (fun h -> Mem.free_mark h) d.bag;
+  d.bag <- []

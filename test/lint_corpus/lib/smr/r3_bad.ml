@@ -1,0 +1,7 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R3 seed: a plain mutable field in a record that carries cross-domain
+   shared state (an Atomic lives beside it) — an OCaml memory-model data
+   race waiting for a second domain. *)
+
+type slot = { value : int Atomic.t; mutable owner : int }

@@ -1,0 +1,7 @@
+(* smr-lint: allow missing-mli — corpus fixture: parsed, never compiled *)
+
+(* R3 good twin: the sanctioned handle/shared split — mutables live in the
+   per-domain handle, shared state is all-Atomic. *)
+
+type shared = { head : int Atomic.t }
+type handle = { shared : shared; mutable my_epoch : int }
