@@ -1,0 +1,144 @@
+type entry = {
+  case : Harness.case;
+  choices : int array;
+  expect : Harness.vkind option;
+  notes : string list;
+}
+
+let point_of_name s =
+  match
+    List.find_opt (fun p -> Fault.point_name p = s) Fault.all_points
+  with
+  | Some p -> p
+  | None -> failwith ("Corpus: unknown fault point " ^ s)
+
+let to_string e =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# model-check case v1";
+  line "ds %s" e.case.ds;
+  line "scheme %s" e.case.scheme;
+  line "threshold %d" e.case.threshold;
+  line "traced %b" e.case.traced;
+  (match e.case.fault with
+  | None -> ()
+  | Some (p, n) -> line "fault %s %d" (Fault.point_name p) n);
+  Array.iter
+    (fun ops ->
+      line "thread %s" (String.concat " ; " (List.map Gen.op_to_string ops)))
+    e.case.scripts;
+  line "choices %s"
+    (String.concat " " (Array.to_list (Array.map string_of_int e.choices)));
+  (match e.expect with
+  | None -> ()
+  | Some v -> line "expect %s" (Harness.vkind_name v));
+  List.iter (fun n -> line "note %s" n) e.notes;
+  Buffer.contents b
+
+let of_string s =
+  let ds = ref None
+  and scheme = ref None
+  and threshold = ref 1
+  and traced = ref false
+  and fault = ref None
+  and scripts = ref []
+  and choices = ref [||]
+  and expect = ref None
+  and notes = ref [] in
+  let strip_prefix p l =
+    let lp = String.length p in
+    if String.length l >= lp && String.sub l 0 lp = p then
+      Some (String.trim (String.sub l lp (String.length l - lp)))
+    else None
+  in
+  String.split_on_char '\n' s
+  |> List.iter (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then ()
+         else
+           match strip_prefix "ds " l with
+           | Some v -> ds := Some v
+           | None -> (
+               match strip_prefix "scheme " l with
+               | Some v -> scheme := Some v
+               | None -> (
+                   match strip_prefix "threshold " l with
+                   | Some v -> threshold := int_of_string v
+                   | None -> (
+                       match strip_prefix "traced " l with
+                       | Some v -> traced := bool_of_string v
+                       | None -> (
+                           match strip_prefix "fault " l with
+                           | Some v -> (
+                               match String.split_on_char ' ' v with
+                               | [ p; n ] ->
+                                   fault :=
+                                     Some (point_of_name p, int_of_string n)
+                               | _ -> failwith ("Corpus: bad fault line " ^ l))
+                           | None -> (
+                               match strip_prefix "thread " l with
+                               | Some v ->
+                                   let ops =
+                                     if String.trim v = "" then []
+                                     else
+                                       String.split_on_char ';' v
+                                       |> List.map Gen.op_of_string
+                                   in
+                                   scripts := ops :: !scripts
+                               | None -> (
+                                   match strip_prefix "choices" l with
+                                   | Some v ->
+                                       choices :=
+                                         (if v = "" then [||]
+                                          else
+                                            String.split_on_char ' ' v
+                                            |> List.filter (fun x -> x <> "")
+                                            |> List.map int_of_string
+                                            |> Array.of_list)
+                                   | None -> (
+                                       match strip_prefix "expect " l with
+                                       | Some v ->
+                                           expect :=
+                                             Some (Harness.vkind_of_name v)
+                                       | None -> (
+                                           match strip_prefix "note " l with
+                                           | Some v -> notes := v :: !notes
+                                           | None ->
+                                               failwith
+                                                 ("Corpus: bad line " ^ l))))))))));
+  let req name = function
+    | Some v -> v
+    | None -> failwith ("Corpus: missing " ^ name)
+  in
+  {
+    case =
+      {
+        Harness.ds = req "ds" !ds;
+        scheme = req "scheme" !scheme;
+        threshold = !threshold;
+        scripts = Array.of_list (List.rev !scripts);
+        fault = !fault;
+        traced = !traced;
+      };
+    choices = !choices;
+    expect = !expect;
+    notes = List.rev !notes;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = really_input_string ic n in
+      try of_string b
+      with Failure m -> failwith (path ^ ": " ^ m))
+
+let save path e =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string e))
+
+let replay e = Harness.run_case ~policy:(Explore.replay e.choices) e.case

@@ -1,0 +1,40 @@
+(** Regression-corpus entries: a shrunk counterexample pinned as a text
+    file — the concrete per-thread scripts, the fault plan, and the exact
+    schedule (chosen-tid sequence) that exhibited the violation.
+
+    [expect] records what the entry pinned {e before} the fix: replaying a
+    corpus entry on fixed code must pass, and [model_check.exe replay
+    --expect-violation] demonstrates the original failure on unfixed
+    trees. The format is line-oriented and hand-editable:
+
+    {v
+    # model-check case v1
+    ds msqueue
+    scheme EBR
+    threshold 1
+    traced false
+    fault retire 2
+    thread enq 1001 ; deq
+    thread deq
+    choices 0 0 1 1 0
+    expect model
+    note found by sweep, shrunk from 2x3 ops
+    v} *)
+
+type entry = {
+  case : Harness.case;
+  choices : int array;
+  expect : Harness.vkind option;
+  notes : string list;
+}
+
+val to_string : entry -> string
+
+val of_string : string -> entry
+(** @raise Failure on malformed input. *)
+
+val load : string -> entry
+val save : string -> entry -> unit
+
+val replay : entry -> Harness.report
+(** Run the entry's case under its recorded schedule. *)

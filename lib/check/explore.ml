@@ -1,0 +1,115 @@
+module Rng = Smr_core.Rng
+
+let replay tids : Sched.policy =
+ fun ~step ~site:_ ~alts ->
+  if step >= Array.length tids then 0
+  else begin
+    let want = tids.(step) in
+    let idx = ref 0 in
+    let found = ref false in
+    Array.iteri
+      (fun i t ->
+        if (not !found) && t = want then begin
+          idx := i;
+          found := true
+        end)
+      alts;
+    !idx
+  end
+
+let random_policy ~seed ?(p_switch = 4) () : Sched.policy =
+  let rng = Rng.create ~seed in
+  fun ~step:_ ~site ~alts ->
+    let n = Array.length alts in
+    if n <= 1 then 0
+    else if site < 0 then Rng.below rng n
+    else if Rng.below rng p_switch = 0 then 1 + Rng.below rng (n - 1)
+    else 0
+
+type search_result =
+  [ `Clean of int | `Found of Harness.report * int | `Budget of int ]
+
+(* Prefix-replay DFS. Each run logs, per decision, how many alternatives
+   were actually selectable (1 when the preemption budget is spent at a
+   yield decision, the full candidate count otherwise) and which index was
+   taken. Backtracking bumps the deepest decision with an untried
+   alternative and replays the prefix; replay is sound because runs are
+   deterministic, so the same prefix reproduces the same availabilities. *)
+let dfs ?(preemptions = 2) ?(max_runs = max_int) ?(max_wall_ms = max_int) exec =
+  let deadline =
+    if max_wall_ms = max_int then infinity
+    else Unix.gettimeofday () +. (float_of_int max_wall_ms /. 1000.)
+  in
+  let prefix = ref [||] in
+  let runs = ref 0 in
+  let rec loop () =
+    if !runs >= max_runs || Unix.gettimeofday () > deadline then `Budget !runs
+    else begin
+      let avail_log = ref [] and chosen_log = ref [] in
+      let used = ref 0 in
+      let policy ~step ~site ~alts =
+        let n = Array.length alts in
+        let yield_decision = site >= 0 in
+        let avail = if yield_decision && !used >= preemptions then 1 else n in
+        let want = if step < Array.length !prefix then !prefix.(step) else 0 in
+        let chosen = if want >= avail || want < 0 then 0 else want in
+        avail_log := avail :: !avail_log;
+        chosen_log := chosen :: !chosen_log;
+        if yield_decision && chosen > 0 then incr used;
+        chosen
+      in
+      incr runs;
+      let report = exec policy in
+      if Sys.getenv_opt "MC_DEBUG" <> None then
+        Printf.eprintf "run %d: prefix=[%s] decisions=%d avail=[%s]\n%!" !runs
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int !prefix)))
+          (List.length !chosen_log)
+          (String.concat ","
+             (List.rev_map string_of_int !avail_log));
+      match report.Harness.outcome with
+      | `Violation _ -> `Found (report, !runs)
+      | `Pass | `Overflow ->
+          let avail = Array.of_list (List.rev !avail_log) in
+          let chosen = Array.of_list (List.rev !chosen_log) in
+          let k = ref (Array.length chosen - 1) in
+          while !k >= 0 && chosen.(!k) + 1 >= avail.(!k) do
+            decr k
+          done;
+          if !k < 0 then `Clean !runs
+          else begin
+            prefix :=
+              Array.append (Array.sub chosen 0 !k) [| chosen.(!k) + 1 |];
+            loop ()
+          end
+    end
+  in
+  loop ()
+
+let refind ?(preemptions = 2) ?(max_runs = 200) ?(random_seeds = 30) case
+    choices =
+  let violating (r : Harness.report) =
+    match r.outcome with `Violation _ -> Some r | _ -> None
+  in
+  match violating (Harness.run_case ~policy:(replay choices) case) with
+  | Some r -> Some r
+  | None -> (
+      match
+        dfs ~preemptions ~max_runs (fun policy ->
+            Harness.run_case ~policy case)
+      with
+      | `Found (r, _) -> Some r
+      | `Clean _ | `Budget _ ->
+          let rec try_seed s =
+            if s >= random_seeds then None
+            else
+              match
+                violating
+                  (Harness.run_case
+                     ~policy:(random_policy ~seed:(s * 7919) ())
+                     case)
+              with
+              | Some r -> Some r
+              | None -> try_seed (s + 1)
+          in
+          try_seed 0)

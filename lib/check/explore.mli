@@ -1,0 +1,48 @@
+(** Schedule-space exploration policies and search drivers.
+
+    Three ways to pick interleavings:
+
+    - {!replay}: follow a recorded choice sequence (corpus regression
+      replay, shrinking);
+    - {!random_policy}: seeded random walk — mostly run on, preempt with
+      probability 1/[p_switch] (larger structures where exhaustive
+      enumeration is hopeless);
+    - {!dfs}: bounded-exhaustive enumeration, preemption-bounded the way
+      stateless model checkers bound it: at most [preemptions] decisions
+      per run may switch away from a runnable thread, everything else is
+      explored exhaustively by prefix replay with deepest-first
+      backtracking. The schedule space collapses from exponential in trail
+      length to O(trail^preemptions) runs. *)
+
+val replay : int array -> Sched.policy
+(** Follow the recorded chosen-tid sequence; out-of-range or impossible
+    entries fall back to "keep running". *)
+
+val random_policy : seed:int -> ?p_switch:int -> unit -> Sched.policy
+(** Fresh splitmix64 stream per call; [p_switch] defaults to 4 (25%
+    preemption per decision). Thread-exit handoffs pick uniformly. *)
+
+type search_result =
+  [ `Clean of int  (** exhausted the bounded space; runs executed *)
+  | `Found of Harness.report * int  (** first violation; runs executed *)
+  | `Budget of int  (** run or wall budget hit before exhaustion *) ]
+
+val dfs :
+  ?preemptions:int ->
+  ?max_runs:int ->
+  ?max_wall_ms:int ->
+  (Sched.policy -> Harness.report) ->
+  search_result
+(** [preemptions] defaults to 2. The callback runs one full case under the
+    given policy — typically [fun p -> Harness.run_case ~policy:p case]. *)
+
+val refind :
+  ?preemptions:int ->
+  ?max_runs:int ->
+  ?random_seeds:int ->
+  Harness.case ->
+  int array ->
+  Harness.report option
+(** Re-establish a violation on a (usually reduced) case: replay the given
+    choice sequence first, then a budgeted {!dfs}, then a few random
+    seeds. [None] when nothing reproduces — the reduction was too big. *)

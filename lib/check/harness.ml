@@ -1,0 +1,239 @@
+module Mem = Smr_core.Mem
+
+type case = {
+  ds : string;
+  scheme : string;
+  threshold : int;
+  scripts : Gen.op list array;
+  fault : (Fault.point * int) option;
+  traced : bool;
+}
+
+let case_to_string c =
+  let fault =
+    match c.fault with
+    | None -> "none"
+    | Some (p, n) -> Printf.sprintf "kill %s %d" (Fault.point_name p) n
+  in
+  Printf.sprintf "%s/%s thr=%d fault=%s %s" c.ds c.scheme c.threshold fault
+    (String.concat " | "
+       (Array.to_list
+          (Array.map
+             (fun ops -> String.concat ";" (List.map Gen.op_to_string ops))
+             c.scripts)))
+
+type vkind = Model_div | Uaf | Structural | Leak | Trace_bad | Exn_other
+
+let vkind_name = function
+  | Model_div -> "model"
+  | Uaf -> "uaf"
+  | Structural -> "structural"
+  | Leak -> "leak"
+  | Trace_bad -> "trace"
+  | Exn_other -> "exn"
+
+let vkind_of_name = function
+  | "model" -> Model_div
+  | "uaf" -> Uaf
+  | "structural" -> Structural
+  | "leak" -> Leak
+  | "trace" -> Trace_bad
+  | "exn" -> Exn_other
+  | s -> failwith ("Harness.vkind_of_name: " ^ s)
+
+type violation = { vkind : vkind; detail : string }
+
+type report = {
+  outcome : [ `Pass | `Violation of violation | `Overflow ];
+  choices : int array;
+  trail : (int * int) array;
+  steps : int;
+  killed : int option;
+}
+
+let max_kill_residue = 64
+
+let site_name site =
+  if site = Sched.site_start then "start"
+  else if site = Sched.site_exit then "exit"
+  else if site >= Fault.Hook.site_trace_base then
+    "t:" ^ Obs.Trace.kind_name (Obs.Trace.kind_of_code (site - Fault.Hook.site_trace_base))
+  else "f:" ^ Fault.point_name (match site - Fault.Hook.site_fault_base with
+    | 0 -> Fault.Retire
+    | 1 -> Fault.Protect
+    | 2 -> Fault.Unlink
+    | 3 -> Fault.Reclaim
+    | 4 -> Fault.Crit
+    | 5 -> Fault.Net_read
+    | 6 -> Fault.Net_write
+    | _ -> Fault.Collector)
+
+let render_trail trail =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map (fun (tid, site) -> Printf.sprintf "%d %s" tid (site_name site)) trail))
+
+let hist_to_string entries =
+  String.concat "; "
+    (List.map
+       (fun (e : Model.entry) ->
+         Printf.sprintf "%s->%s%s" (Gen.op_to_string e.op)
+           (if e.killed then "killed" else Model.result_to_string e.res)
+           (Printf.sprintf "@[%d,%s]" e.inv
+              (if e.ret = max_int then "-" else string_of_int e.ret)))
+       entries)
+
+let is_lifecycle_exn = function
+  | Mem.Use_after_free _ | Mem.Double_retire _ | Mem.Invalid_free _ -> true
+  | _ -> false
+
+let run_case ~policy ?(max_steps = 20000) case =
+  match Sut.find ~ds:case.ds ~scheme:case.scheme with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Harness.run_case: no SUT for %s/%s" case.ds
+           case.scheme)
+  | Some m ->
+      let module M = (val m : Sut.SUT) in
+      let n = Array.length case.scripts in
+      M.pin_rngs ();
+      Fault.reset ();
+      if case.traced then Obs.Trace.enable ~capacity:(1 lsl 15) ();
+      Fun.protect
+        ~finally:(fun () ->
+          Fault.reset ();
+          if case.traced then Obs.Trace.disable ())
+      @@ fun () ->
+      let t = M.make ~threshold:case.threshold in
+      let locals = Array.init n (fun _ -> M.attach t) in
+      let hist : Model.entry list array = Array.make n [] in
+      let completed = Array.make n false in
+      let exns : exn option array = Array.make n None in
+      let killed = ref None in
+      let fs =
+        Array.init n (fun i () ->
+            let l = locals.(i) in
+            (* The clean close runs here, inside the scheduled body, not in
+               the driver's teardown: the offline checker attributes
+               Unprotect events per domain, so guard releases must come
+               from the domain that published the protections — and an
+               armed kill landing mid-detach is exactly the crash-recovery
+               edge the session-lifecycle tests pin. *)
+            let rec go = function
+              | [] -> (
+                  match M.detach t l with
+                  | () -> completed.(i) <- true
+                  | exception Fault.Killed _ -> killed := Some i
+                  | exception Sched.Overflow -> raise Sched.Overflow
+                  | exception e -> exns.(i) <- Some e)
+              | op :: rest -> (
+                  let inv = Sched.tick () in
+                  match M.apply t l op with
+                  | r ->
+                      let ret = Sched.tick () in
+                      hist.(i) <-
+                        { Model.op; res = r; inv; ret; killed = false }
+                        :: hist.(i);
+                      go rest
+                  | exception Fault.Killed _ ->
+                      hist.(i) <-
+                        {
+                          Model.op;
+                          res = Model.RUnit;
+                          inv;
+                          ret = max_int;
+                          killed = true;
+                        }
+                        :: hist.(i);
+                      killed := Some i
+                  | exception Sched.Overflow -> raise Sched.Overflow
+                  | exception e -> exns.(i) <- Some e)
+            in
+            go case.scripts.(i))
+      in
+      (match case.fault with
+      | None -> ()
+      | Some (p, after) -> Fault.arm ~point:p ~action:Fault.Kill ~after ());
+      let out = Sched.run ~max_steps ~policy fs in
+      Fault.reset ();
+      (* Backstop: an exception the thread body did not classify. *)
+      Array.iteri
+        (fun i e -> if exns.(i) = None && e <> None then exns.(i) <- e)
+        out.exns;
+      (* Teardown: threads that ran to completion already detached inside
+         their own body; everything that stopped mid-protocol (killed,
+         lifecycle exception, overflow abort) goes through crash
+         recovery. *)
+      Array.iteri
+        (fun i l -> if not completed.(i) then M.recover t l)
+        locals;
+      M.drain t;
+      let mk outcome =
+        {
+          outcome;
+          choices = out.choices;
+          trail = out.trail;
+          steps = out.steps;
+          killed = !killed;
+        }
+      in
+      if out.overflowed then mk `Overflow
+      else begin
+        let violations = ref [] in
+        let add vkind detail = violations := { vkind; detail } :: !violations in
+        Array.iteri
+          (fun i e ->
+            match e with
+            | None -> ()
+            | Some e ->
+                add
+                  (if is_lifecycle_exn e then Uaf else Exn_other)
+                  (Printf.sprintf "thread %d: %s" i (Printexc.to_string e)))
+          exns;
+        (match M.structural t with
+        | () -> ()
+        | exception e ->
+            add Structural (Printexc.to_string e));
+        let final =
+          match M.contents t with
+          | s -> Some s
+          | exception e ->
+              add
+                (if is_lifecycle_exn e then Uaf else Structural)
+                ("contents: " ^ Printexc.to_string e);
+              None
+        in
+        (match final with
+        | Some f ->
+            let entries = Array.to_list hist |> List.concat_map List.rev in
+            if not (Model.check M.kind ~entries ~final:(Some f)) then
+              add Model_div
+                (Printf.sprintf "history does not linearize to %s: %s"
+                   (Model.state_to_string f) (hist_to_string entries))
+        | None -> ());
+        (if M.reclaims then
+           let u = M.unreclaimed t in
+           match !killed with
+           | None ->
+               if u > 0 then
+                 add Leak (Printf.sprintf "%d unreclaimed after drain" u)
+           | Some _ ->
+               if u > max_kill_residue then
+                 add Leak
+                   (Printf.sprintf "%d unreclaimed after killed run (bound %d)"
+                      u max_kill_residue));
+        (if case.traced then begin
+           Obs.Trace.disable ();
+           match Obs.Check.run_snapshot (Obs.Trace.snapshot ()) with
+           | Ok _ -> ()
+           | Error vs ->
+               add Trace_bad
+                 (String.concat "; "
+                    (List.map
+                       (fun v -> Format.asprintf "%a" Obs.Check.pp_violation v)
+                       (match vs with a :: b :: c :: _ -> [ a; b; c ] | l -> l)))
+         end);
+        match List.rev !violations with
+        | [] -> mk `Pass
+        | v :: _ -> mk (`Violation v)
+      end

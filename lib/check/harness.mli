@@ -1,0 +1,61 @@
+(** One model-check run: a case (scripts × scheme × fault plan) executed
+    under one deterministic schedule, then judged.
+
+    After the concurrent phase the harness tears the SUT down (clean
+    detach for threads that finished, [report_crashed] recovery for killed
+    or aborted ones), drains quiescent garbage, and asserts the
+    meta-properties every schedule must satisfy:
+
+    - no lifecycle exception escaped an operation ([Mem.Use_after_free] /
+      [Double_retire] / [Invalid_free] — the uid-tracking UAF detector);
+    - the structural sweep passes (reachable-not-freed, key uniqueness);
+    - the completed operations' results linearize against the sequential
+      reference model, killed ops optional, and some witness order
+      reproduces the observed final contents;
+    - a reclaiming scheme drained to zero unreclaimed blocks (clean runs)
+      or a small kill residue (killed runs);
+    - when the case records a trace, the offline protocol checker
+      ({!Obs.Check}) replays it clean.
+
+    A schedule-step overflow (livelocked interleaving) is reported as
+    [`Overflow], not a violation, and skips the checks. *)
+
+type case = {
+  ds : string;
+  scheme : string;
+  threshold : int;  (** reclaim threshold for the scheme under test *)
+  scripts : Gen.op list array;  (** one op list per logical thread *)
+  fault : (Fault.point * int) option;
+      (** arm [Kill] at this point on the [n]-th hit, counted from the
+          start of the concurrent phase (setup does not consume hits) *)
+  traced : bool;  (** record a trace and replay it through {!Obs.Check} *)
+}
+
+val case_to_string : case -> string
+
+type vkind = Model_div | Uaf | Structural | Leak | Trace_bad | Exn_other
+
+val vkind_name : vkind -> string
+val vkind_of_name : string -> vkind
+
+type violation = { vkind : vkind; detail : string }
+
+type report = {
+  outcome : [ `Pass | `Violation of violation | `Overflow ];
+  choices : int array;  (** scheduling decisions taken, for replay *)
+  trail : (int * int) array;  (** (tid, yield site) sequence *)
+  steps : int;
+  killed : int option;  (** tid the fault plan killed, if it fired *)
+}
+
+val max_kill_residue : int
+(** Unreclaimed blocks tolerated after a killed run (crash recovery hands
+    the victim's bag to survivors, but a few blocks can legitimately wait
+    for the next pass). *)
+
+val run_case : policy:Sched.policy -> ?max_steps:int -> case -> report
+(** @raise Invalid_argument on an unknown or unsupported (ds, scheme). *)
+
+val render_trail : (int * int) array -> string
+(** Human-readable one-line-per-yield rendering ("tid site-name"); the
+    determinism tests compare these byte-for-byte. *)

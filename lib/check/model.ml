@@ -1,0 +1,103 @@
+type result = RUnit | RBool of bool | ROpt of int option
+
+let result_to_string = function
+  | RUnit -> "()"
+  | RBool b -> string_of_bool b
+  | ROpt None -> "none"
+  | ROpt (Some v) -> Printf.sprintf "some %d" v
+
+type state =
+  | SMap of (int * int) list
+  | SStack of int list
+  | SQueue of int list
+
+let state_to_string = function
+  | SMap kvs ->
+      "{"
+      ^ String.concat "; "
+          (List.map (fun (k, v) -> Printf.sprintf "%d->%d" k v) kvs)
+      ^ "}"
+  | SStack vs | SQueue vs ->
+      "[" ^ String.concat "; " (List.map string_of_int vs) ^ "]"
+
+let init = function
+  | Gen.KMap -> SMap []
+  | Gen.KStack -> SStack []
+  | Gen.KQueue -> SQueue []
+
+(* Association lists stay sorted by key so structurally equal states hash
+   and compare equal in the memo table. *)
+let rec assoc_insert k v = function
+  | [] -> [ (k, v) ]
+  | (k', _) :: _ as l when k < k' -> (k, v) :: l
+  | kv :: rest -> kv :: assoc_insert k v rest
+
+let apply state op =
+  match (state, op) with
+  | SMap kvs, Gen.Insert (k, v) ->
+      if List.mem_assoc k kvs then (state, RBool false)
+      else (SMap (assoc_insert k v kvs), RBool true)
+  | SMap kvs, Gen.Remove k ->
+      if List.mem_assoc k kvs then (SMap (List.remove_assoc k kvs), RBool true)
+      else (state, RBool false)
+  | SMap kvs, Gen.Get k -> (state, ROpt (List.assoc_opt k kvs))
+  | SStack vs, Gen.Push v -> (SStack (v :: vs), RUnit)
+  | SStack [], Gen.Pop -> (state, ROpt None)
+  | SStack (v :: vs), Gen.Pop -> (SStack vs, ROpt (Some v))
+  | SQueue vs, Gen.Enq v -> (SQueue (vs @ [ v ]), RUnit)
+  | SQueue [], Gen.Deq -> (state, ROpt None)
+  | SQueue (v :: vs), Gen.Deq -> (SQueue vs, ROpt (Some v))
+  | _ -> invalid_arg "Model.apply: op does not match state kind"
+
+type entry = {
+  op : Gen.op;
+  res : result;
+  inv : int;
+  ret : int;
+  killed : bool;
+}
+
+let check kind ~entries ~final =
+  let ops = Array.of_list entries in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Model.check: too many entries";
+  (* Memo of failed (pending-set, state) pairs; successes return
+     immediately, so only dead ends are stored. *)
+  let failed : (int * state, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec go mask state =
+    if mask = 0 then
+      match final with None -> true | Some f -> state = f
+    else if Hashtbl.mem failed (mask, state) then false
+    else begin
+      (* An entry can linearize first iff no pending entry returned before
+         it was invoked. *)
+      let min_ret = ref max_int in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 && ops.(i).ret < !min_ret then
+          min_ret := ops.(i).ret
+      done;
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let bit = 1 lsl !i in
+        if mask land bit <> 0 && ops.(!i).inv <= !min_ret then begin
+          let e = ops.(!i) in
+          let rest = mask lxor bit in
+          if e.killed then begin
+            (* A killed op may have taken effect or not; its result was
+               never observed either way. *)
+            let st', _ = apply state e.op in
+            ok := go rest state || go rest st'
+          end
+          else begin
+            let st', r = apply state e.op in
+            if r = e.res then ok := go rest st'
+          end
+        end;
+        incr i
+      done;
+      if not !ok then Hashtbl.replace failed (mask, state) ();
+      !ok
+    end
+  in
+  go ((1 lsl n) - 1) (init kind)

@@ -1,0 +1,43 @@
+(** Pure sequential reference models and the linearizability check.
+
+    The models are the sequential specifications the concurrent structures
+    are diffed against: an association list for maps (insert-if-absent, the
+    same spec [test/support/linearizability.ml] uses for shardkv), a list
+    for the Treiber stack (head = top), a list for the MS queue
+    (head = front).
+
+    {!check} is a Wing–Gong style search: find an order of the completed
+    operations, consistent with the real-time order the deterministic
+    scheduler's logical clock observed, under which every operation's
+    result matches the model — and which drives the model to the observed
+    final contents. Operations killed mid-flight by fault injection are
+    {e optional}: the search may apply their effect or drop them, since a
+    crash can land on either side of the linearization point. *)
+
+type result = RUnit | RBool of bool | ROpt of int option
+
+val result_to_string : result -> string
+
+type state =
+  | SMap of (int * int) list  (** sorted by key *)
+  | SStack of int list  (** top first *)
+  | SQueue of int list  (** front first *)
+
+val state_to_string : state -> string
+val init : Gen.kind -> state
+
+val apply : state -> Gen.op -> state * result
+(** Sequential specification of one operation. *)
+
+type entry = {
+  op : Gen.op;
+  res : result;  (** ignored when [killed] *)
+  inv : int;  (** {!Sched.tick} at invocation *)
+  ret : int;  (** {!Sched.tick} at return; [max_int] when [killed] *)
+  killed : bool;
+}
+
+val check : Gen.kind -> entries:entry list -> final:state option -> bool
+(** True iff the history linearizes (and, when [final] is given, some
+    witness order also reproduces the final contents). Memoized DFS over
+    (pending-set, model-state); at most 62 entries. *)

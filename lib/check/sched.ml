@@ -1,0 +1,316 @@
+exception Overflow
+
+type policy = step:int -> site:int -> alts:int array -> int
+
+let site_start = -2
+let site_exit = -1
+
+type outcome = {
+  choices : int array;
+  trail : (int * int) array;
+  steps : int;
+  overflowed : bool;
+  exns : exn option array;
+}
+
+(* Tiny growable int vector: trail/choices recording must not allocate a
+   box per entry while holding the scheduler lock. *)
+module Vec = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 64 0; len = 0 }
+  let clear v = v.len <- 0
+
+  let push v x =
+    if v.len = Array.length v.a then begin
+      let b = Array.make (2 * v.len) 0 in
+      Array.blit v.a 0 b 0 v.len;
+      v.a <- b
+    end;
+    v.a.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let to_array v = Array.sub v.a 0 v.len
+end
+
+let default_policy ~step:_ ~site:_ ~alts:_ = 0
+
+(* One global scheduler instance: runs are strictly sequential (model
+   checking enumerates schedules one at a time), so a single mutable record
+   reinitialized by [run] is enough, and [yield_site] can find it without
+   threading state through the hook callback. All mutable fields are
+   accessed either under [m] or by the unique baton holder; every baton
+   transfer goes through [m], which carries the happens-before edges. *)
+type st = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable runnable : bool array;
+  mutable current : int; (* thread holding the baton; -1 = none *)
+  mutable overflow : bool;
+  mutable steps : int;
+  mutable decisions : int;
+  mutable max_steps : int;
+  mutable policy : policy;
+  choices : Vec.t;
+  trail : Vec.t; (* flattened (tid, site) pairs *)
+  mutable clock : int;
+  mutable exns : exn option array;
+}
+
+let g =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    runnable = [||];
+    current = -1;
+    overflow = false;
+    steps = 0;
+    decisions = 0;
+    max_steps = 0;
+    policy = default_policy;
+    choices = Vec.create ();
+    trail = Vec.create ();
+    clock = 0;
+    exns = [||];
+  }
+
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let self () = Domain.DLS.get tid_key
+
+let tick () =
+  g.clock <- g.clock + 1;
+  g.clock
+
+(* Runnable candidates with [me] first (continuing is always alts.(0) so
+   policies and the preemption-bounded enumerator can treat index 0 as "no
+   context switch"). Pass [me = -1] for start/exit decisions. *)
+let alts_of s ~me =
+  let n = Array.length s.runnable in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if s.runnable.(i) then incr count
+  done;
+  let out = Array.make !count 0 in
+  let pos = ref 0 in
+  if me >= 0 && s.runnable.(me) then begin
+    out.(0) <- me;
+    pos := 1
+  end;
+  for i = 0 to n - 1 do
+    if s.runnable.(i) && i <> me then begin
+      out.(!pos) <- i;
+      incr pos
+    end
+  done;
+  out
+
+(* Consult the policy at a choice point (caller holds [s.m]) and record the
+   chosen tid. Forced choices (a single candidate) skip the policy and are
+   not recorded: they carry no information, so replay arrays stay minimal. *)
+let choose s ~site ~alts =
+  if Array.length alts = 1 then alts.(0)
+  else begin
+    let idx = s.policy ~step:s.decisions ~site ~alts in
+    let idx = if idx < 0 || idx >= Array.length alts then 0 else idx in
+    s.decisions <- s.decisions + 1;
+    let tid = alts.(idx) in
+    Vec.push s.choices tid;
+    tid
+  end
+
+let yield_site site =
+  let me = Domain.DLS.get tid_key in
+  if me >= 0 then begin
+    let s = g in
+    Mutex.lock s.m;
+    if s.overflow then begin
+      Mutex.unlock s.m;
+      raise Overflow
+    end;
+    Vec.push s.trail me;
+    Vec.push s.trail site;
+    s.steps <- s.steps + 1;
+    if s.steps > s.max_steps then begin
+      s.overflow <- true;
+      Condition.broadcast s.cv;
+      Mutex.unlock s.m;
+      raise Overflow
+    end;
+    let next = choose s ~site ~alts:(alts_of s ~me) in
+    if next <> me then begin
+      s.current <- next;
+      Condition.broadcast s.cv;
+      while s.current <> me && not s.overflow do
+        Condition.wait s.cv s.m
+      done;
+      let aborted = s.overflow in
+      Mutex.unlock s.m;
+      if aborted then raise Overflow
+    end
+    else Mutex.unlock s.m
+  end
+
+(* A finished (or aborted) thread hands the baton on. During overflow the
+   policy is not consulted — every surviving thread is being woken to
+   unwind, order is irrelevant and the policy's bookkeeping may be spent. *)
+let finish me =
+  let s = g in
+  Mutex.lock s.m;
+  s.runnable.(me) <- false;
+  let alts = alts_of s ~me:(-1) in
+  if Array.length alts = 0 then s.current <- -1
+  else if s.overflow then s.current <- alts.(0)
+  else s.current <- choose s ~site:site_exit ~alts;
+  Condition.broadcast s.cv;
+  Mutex.unlock s.m
+
+let body me f () =
+  Domain.DLS.set tid_key me;
+  let s = g in
+  Mutex.lock s.m;
+  while s.current <> me && not s.overflow do
+    Condition.wait s.cv s.m
+  done;
+  let scheduled = s.current = me && not s.overflow in
+  Mutex.unlock s.m;
+  if scheduled then begin
+    try f () with
+    | Overflow -> ()
+    | e -> s.exns.(me) <- Some e
+  end;
+  finish me;
+  Domain.DLS.set tid_key (-1)
+
+(* {1 Worker pool} — persistent domains parked between runs, so a sweep of
+   thousands of schedules does not pay a domain spawn per logical thread. *)
+
+type slot = {
+  sm : Mutex.t;
+  scv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable busy : bool;
+  mutable quit : bool;
+}
+
+let pool : (slot * unit Domain.t) list ref = ref []
+let pool_lock = Mutex.create ()
+
+let rec worker slot =
+  Mutex.lock slot.sm;
+  while slot.job = None && not slot.quit do
+    Condition.wait slot.scv slot.sm
+  done;
+  match slot.job with
+  | None -> Mutex.unlock slot.sm (* quit *)
+  | Some f ->
+      Mutex.unlock slot.sm;
+      (try f () with _ -> ());
+      Mutex.lock slot.sm;
+      slot.job <- None;
+      slot.busy <- false;
+      Condition.broadcast slot.scv;
+      Mutex.unlock slot.sm;
+      worker slot
+
+let teardown_pool () =
+  Mutex.lock pool_lock;
+  let ds = !pool in
+  pool := [];
+  Mutex.unlock pool_lock;
+  List.iter
+    (fun (slot, _) ->
+      Mutex.lock slot.sm;
+      slot.quit <- true;
+      Condition.broadcast slot.scv;
+      Mutex.unlock slot.sm)
+    ds;
+  List.iter (fun (_, d) -> Domain.join d) ds
+
+let teardown_registered = ref false
+
+let acquire n =
+  Mutex.lock pool_lock;
+  if not !teardown_registered then begin
+    teardown_registered := true;
+    at_exit teardown_pool
+  end;
+  while List.length !pool < n do
+    let slot =
+      {
+        sm = Mutex.create ();
+        scv = Condition.create ();
+        job = None;
+        busy = false;
+        quit = false;
+      }
+    in
+    let d = Domain.spawn (fun () -> worker slot) in
+    pool := !pool @ [ (slot, d) ]
+  done;
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (slot, _) :: rest -> slot :: take (k - 1) rest
+  in
+  let slots = take n !pool in
+  Mutex.unlock pool_lock;
+  slots
+
+let assign slot f =
+  Mutex.lock slot.sm;
+  slot.job <- Some f;
+  slot.busy <- true;
+  Condition.broadcast slot.scv;
+  Mutex.unlock slot.sm
+
+let await_idle slot =
+  Mutex.lock slot.sm;
+  while slot.busy do
+    Condition.wait slot.scv slot.sm
+  done;
+  Mutex.unlock slot.sm
+
+let run ?(max_steps = 20000) ~policy fs =
+  let n = Array.length fs in
+  if n = 0 then
+    { choices = [||]; trail = [||]; steps = 0; overflowed = false; exns = [||] }
+  else begin
+    g.runnable <- Array.make n true;
+    g.current <- -1;
+    g.overflow <- false;
+    g.steps <- 0;
+    g.decisions <- 0;
+    g.max_steps <- max_steps;
+    g.policy <- policy;
+    g.clock <- 0;
+    g.exns <- Array.make n None;
+    Vec.clear g.choices;
+    Vec.clear g.trail;
+    let slots = acquire n in
+    Fault.Hook.install_sched yield_site;
+    Fun.protect
+      ~finally:(fun () -> Fault.Hook.uninstall_sched ())
+      (fun () ->
+        List.iteri (fun i slot -> assign slot (body i fs.(i))) slots;
+        Mutex.lock g.m;
+        g.current <- choose g ~site:site_start ~alts:(alts_of g ~me:(-1));
+        Condition.broadcast g.cv;
+        while g.current <> -1 do
+          Condition.wait g.cv g.m
+        done;
+        Mutex.unlock g.m;
+        List.iter await_idle slots);
+    g.policy <- default_policy;
+    let flat = Vec.to_array g.trail in
+    let trail =
+      Array.init (Array.length flat / 2) (fun i ->
+          (flat.(2 * i), flat.((2 * i) + 1)))
+    in
+    {
+      choices = Vec.to_array g.choices;
+      trail;
+      steps = g.steps;
+      overflowed = g.overflow;
+      exns = g.exns;
+    }
+  end

@@ -1,0 +1,69 @@
+(** Deterministic cooperative scheduler over real domains.
+
+    Runs N logical threads (thunks) so that exactly one executes at a time;
+    control transfers only at the instrumented SMR hook sites
+    ([Obs.Trace.emit] / [Fault.hit] under {!Fault.Hook.sched_bit}), which
+    become the yield points. Between two yields a logical thread runs
+    uninterrupted, so an interleaving is fully described by the sequence of
+    scheduling decisions — a small array of ints — and replaying those
+    decisions replays the run bit-for-bit.
+
+    Mechanically each logical thread runs on a worker domain from a
+    persistent pool, parked on a mutex/condvar baton. Handoffs {e block}
+    (no spinning): the container this runs on may have a single core, and a
+    spin-waiting baton would serialize through OS scheduling quanta and
+    destroy both speed and determinism of wall-clock-bounded sweeps.
+
+    Yields from domains that are not scheduled logical threads (the driver,
+    a background collector) are no-ops, so the scheduler tolerates
+    bystander instrumentation without capturing it. *)
+
+exception Overflow
+(** Raised inside every logical thread when a run exceeds [max_steps]
+    yields: the schedule is livelocked (e.g. two threads ping-ponging
+    retries). The run's verdict is "overflow", not a violation. *)
+
+type policy = step:int -> site:int -> alts:int array -> int
+(** Scheduling decision: called at every choice point with more than one
+    candidate. [alts] are the runnable thread ids; when the yielding thread
+    is itself runnable it is [alts.(0)], so returning [0] means "keep
+    running" and any other index is a preemption. [site] is the yield site
+    ({!Fault.Hook.site_fault_base}[ + point_code] or
+    {!Fault.Hook.site_trace_base}[ + kind_code]), {!site_start} for the
+    initial handoff and {!site_exit} when a thread just finished. [step] is
+    the 0-based decision index. Returns an index into [alts] (clamped). *)
+
+val site_start : int
+val site_exit : int
+
+type outcome = {
+  choices : int array;  (** thread id chosen at each decision point *)
+  trail : (int * int) array;
+      (** (thread id, yield site) at every yield, in execution order: the
+          canonical schedule trace replay and determinism tests compare *)
+  steps : int;  (** total yields *)
+  overflowed : bool;
+  exns : exn option array;
+      (** per-thread backstop: an exception that escaped a thread body
+          (thread bodies normally catch their own) *)
+}
+
+val run : ?max_steps:int -> policy:policy -> (unit -> unit) array -> outcome
+(** Run the thunks to completion under [policy] (default [max_steps]
+    20000). Installs the scheduler hook for the duration of the call and
+    uninstalls it before returning, even on exceptions. Not reentrant: one
+    [run] at a time per process. *)
+
+val tick : unit -> int
+(** Logical clock for operation histories: strictly increasing across the
+    run, advanced only by the caller. Only meaningful from the running
+    logical thread (or the driver outside [run]), which is exactly where
+    histories are recorded; successive ops get distinct invocation/return
+    stamps even when no yield separates them. *)
+
+val self : unit -> int
+(** Logical thread id of the calling domain, [-1] for bystanders. *)
+
+val teardown_pool : unit -> unit
+(** Join the worker-domain pool. Registered via [at_exit] automatically;
+    exposed for drivers that want a clean shutdown point. *)

@@ -1,0 +1,49 @@
+(* Counterexample minimization: greedily try structurally smaller cases
+   (drop a whole thread, drop one op) and keep any reduction on which the
+   violation still reproduces, to a fixpoint. Reproduction is delegated to
+   the caller-supplied [refind] (usually {!Explore.refind} with the parent
+   report's choices as the first replay attempt), so the shrinker itself
+   stays policy-agnostic. *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let candidates (case : Harness.case) =
+  let n = Array.length case.scripts in
+  let drop_thread =
+    if n <= 1 then []
+    else
+      List.init n (fun t ->
+          {
+            case with
+            scripts =
+              Array.of_list
+                (List.filteri
+                   (fun i _ -> i <> t)
+                   (Array.to_list case.scripts));
+          })
+  in
+  let drop_op =
+    List.concat
+      (List.init n (fun t ->
+           List.init
+             (List.length case.scripts.(t))
+             (fun j ->
+               let scripts = Array.copy case.scripts in
+               scripts.(t) <- drop_nth scripts.(t) j;
+               { case with scripts })))
+  in
+  (* Whole threads first: one success removes many ops at once. *)
+  drop_thread @ drop_op
+
+let shrink ~refind (case : Harness.case) (report : Harness.report) =
+  let rec loop case (report : Harness.report) =
+    let rec try_c = function
+      | [] -> (case, report)
+      | c :: rest -> (
+          match refind c report.Harness.choices with
+          | Some r -> loop c r
+          | None -> try_c rest)
+    in
+    try_c (candidates case)
+  in
+  loop case report

@@ -1,0 +1,15 @@
+(** Greedy counterexample minimization for model-check violations. *)
+
+val candidates : Harness.case -> Harness.case list
+(** One-step reductions, most aggressive first (drop a thread, then drop a
+    single op). *)
+
+val shrink :
+  refind:(Harness.case -> int array -> Harness.report option) ->
+  Harness.case ->
+  Harness.report ->
+  Harness.case * Harness.report
+(** Reduce to a fixpoint: repeatedly take the first candidate on which
+    [refind] (given the current violating choice sequence as a replay
+    hint) re-establishes a violation. Returns the minimal case and its
+    violating report. *)

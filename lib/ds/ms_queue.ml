@@ -106,6 +106,12 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   (* Quiescent helpers. *)
 
+  (* [head] points at the current dummy, whose [value] is whatever the
+     last dequeue returned (dequeue advances [head] without clearing the
+     field), so the walk must skip the first node unconditionally — only
+     the initial dummy carries [None]. Matching on [value] instead would
+     re-include the last-dequeued element (caught by the model checker:
+     test/check_corpus/msqueue-to-list-model.case). *)
   let to_list t =
     let rec walk acc tg =
       match Tagged.ptr tg with
@@ -114,7 +120,9 @@ module Make (S : Smr.Smr_intf.S) = struct
           let acc = match n.value with Some v -> v :: acc | None -> acc in
           walk acc (Link.get_quiescent n.next)
     in
-    walk [] (Link.get_quiescent t.head)
+    match Tagged.ptr (Link.get_quiescent t.head) with
+    | None -> []
+    | Some dummy -> walk [] (Link.get_quiescent dummy.next)
 
   let length t = List.length (to_list t)
 end

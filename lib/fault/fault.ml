@@ -1,3 +1,5 @@
+module Hook = Hook
+
 type point =
   | Retire
   | Protect
@@ -27,20 +29,41 @@ let point_name = function
 
 let action_name = function Kill -> "kill" | Stall -> "stall"
 
+let point_code = function
+  | Retire -> 0
+  | Protect -> 1
+  | Unlink -> 2
+  | Reclaim -> 3
+  | Crit -> 4
+  | Net_read -> 5
+  | Net_write -> 6
+  | Collector -> 7
+
 type plan = { point : point; action : action; after : int }
 
-(* [armed] carries the plan and its countdown; [on] mirrors "armed and not
-   yet fired" so the hook guard is one load of one atomic. The countdown is
-   a fetch_and_add race: exactly one hitter observes the transition 1 -> 0
-   and fires, no matter how many domains hammer the point. *)
-let on = Atomic.make false
+(* [armed] carries the plan and its countdown; [Hook.fault_bit] mirrors
+   "armed and not yet fired" so the hook guard is one load of one atomic
+   (the combined {!Hook} word, shared with tracing and the scheduler). The
+   countdown is a fetch_and_add race: exactly one hitter observes the
+   transition 1 -> 0 and fires, no matter how many domains hammer the
+   point. *)
 let armed : (plan * int Atomic.t) option Atomic.t = Atomic.make None
 let fired_flag = Atomic.make false
 let victim = Atomic.make (-1)
 let stall_gate = Atomic.make false (* true while a victim must stay parked *)
 let stalled_flag = Atomic.make false
 
-let[@inline] enabled () = Atomic.get on
+(* Module-local binding of the shared word — same hot-guard discipline as
+   Obs.Trace (see hook.mli). *)
+let hook_flags = Hook.flags
+
+(* True when a plan is armed OR the deterministic scheduler is installed:
+   either way [hit] has work to do at this protocol point, and the guard
+   stays one load + branch. *)
+let[@inline] enabled () =
+  Atomic.get hook_flags land (Hook.fault_bit lor Hook.sched_bit) <> 0
+
+let armed_now () = Atomic.get hook_flags land Hook.fault_bit <> 0
 let fired () = Atomic.get fired_flag
 
 let victim_dom () =
@@ -50,7 +73,7 @@ let stalled () = Atomic.get stalled_flag
 let release () = Atomic.set stall_gate false
 
 let reset () =
-  Atomic.set on false;
+  Hook.clear_bit Hook.fault_bit;
   Atomic.set armed None;
   release ();
   Atomic.set fired_flag false;
@@ -61,13 +84,13 @@ let arm ~point ~action ?(after = 1) () =
   if after < 1 then invalid_arg "Fault.arm: after";
   reset ();
   Atomic.set armed (Some ({ point; action; after }, Atomic.make after));
-  Atomic.set on true
+  Hook.set_bit Hook.fault_bit
 
-let hit p =
+let fire p =
   match Atomic.get armed with
   | Some (plan, countdown)
     when plan.point = p && Atomic.fetch_and_add countdown (-1) = 1 ->
-      Atomic.set on false;
+      Hook.clear_bit Hook.fault_bit;
       Atomic.set victim (Domain.self () :> int);
       Atomic.set fired_flag true;
       (match plan.action with
@@ -80,6 +103,16 @@ let hit p =
           done;
           Atomic.set stalled_flag false)
   | _ -> ()
+
+(* The scheduler yield runs BEFORE the plan check: a schedule that parks
+   this thread right at the protocol point still sees the armed countdown
+   decremented by whoever the scheduler runs through the point first, so
+   (schedule, plan) pairs replay deterministically. *)
+let hit p =
+  let f = Atomic.get hook_flags in
+  if f land Hook.sched_bit <> 0 then
+    Hook.yield (Hook.site_fault_base + point_code p);
+  if f land Hook.fault_bit <> 0 then fire p
 
 let await_stalled () =
   while not (Atomic.get stalled_flag) do

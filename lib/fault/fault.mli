@@ -32,6 +32,10 @@
     are derived from a seed with a private splitmix64 mixer rather than
     [Smr_core.Rng]. *)
 
+module Hook : module type of Hook
+(** The combined trace/fault/sched flags word — see [hook.mli]. Re-exported
+    here because this library wraps behind [Fault]. *)
+
 type point =
   | Retire  (** after [Mem.retire_mark], before the retire-bag push *)
   | Protect  (** while publishing a hazard slot ([Slots.set]) *)
@@ -55,12 +59,24 @@ val all_points : point list
 val point_name : point -> string
 val action_name : action -> string
 
+val point_code : point -> int
+(** Stable small-int code for a point, also its {!Hook} yield-site offset
+    ([Hook.site_fault_base + point_code p]). *)
+
 val enabled : unit -> bool
-(** True iff a plan is armed and has not fired. Hook guard. *)
+(** True iff the protocol-point hooks have work to do: a plan is armed and
+    has not fired, {e or} the deterministic scheduler ([lib/check]) is
+    installed and wants a yield at this point. One load of the combined
+    {!Hook} word. Hook guard. *)
+
+val armed_now : unit -> bool
+(** True iff a plan is armed and has not fired (the pre-scheduler meaning
+    of {!enabled}). *)
 
 val hit : point -> unit
-(** Count one arrival at [point]; fire the armed plan if this is the
-    [after]-th. Called only under an {!enabled} guard. *)
+(** Count one arrival at [point]: yield to the scheduler if one is
+    installed, then fire the armed plan if this is the [after]-th arrival.
+    Called only under an {!enabled} guard. *)
 
 type plan = { point : point; action : action; after : int }
 

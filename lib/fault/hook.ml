@@ -1,0 +1,38 @@
+(* The combined hook word. See hook.mli for the discipline. *)
+
+let trace_bit = 1
+let fault_bit = 2
+let sched_bit = 4
+
+let flags = Atomic.make 0
+
+let[@inline] word () = Atomic.get flags
+let[@inline] any () = Atomic.get flags <> 0
+
+let rec set_bit b =
+  let cur = Atomic.get flags in
+  if not (Atomic.compare_and_set flags cur (cur lor b)) then set_bit b
+
+let rec clear_bit b =
+  let cur = Atomic.get flags in
+  if not (Atomic.compare_and_set flags cur (cur land lnot b)) then clear_bit b
+
+(* Yield-site namespace: fault protocol points sit at [site_fault_base +
+   point code], trace kinds at [site_trace_base + kind code]. The mapping
+   lives with the caller (Fault / Obs.Trace); this module only transports
+   the integer. *)
+let site_fault_base = 0
+let site_trace_base = 32
+
+let nop (_ : int) = ()
+let yield_fn : (int -> unit) Atomic.t = Atomic.make nop
+
+let[@inline never] yield site = (Atomic.get yield_fn) site
+
+let install_sched f =
+  Atomic.set yield_fn f;
+  set_bit sched_bit
+
+let uninstall_sched () =
+  clear_bit sched_bit;
+  Atomic.set yield_fn nop

@@ -123,8 +123,24 @@ type ring = {
   mutable n : int; (* total events ever written; kept = min n cap *)
 }
 
-let on = Atomic.make false
-let[@inline] enabled () = Atomic.get on
+module Hook = Fault.Hook
+
+(* The tracing on/off bit lives in the combined {!Fault.Hook} word, shared
+   with the fault layer and the deterministic scheduler, so every
+   instrumented site pays one atomic load however many concerns are armed.
+   [enabled] answers "should this site prepare and call emit": true when
+   recording, and also when the scheduler is installed — emit is a yield
+   point, and it must fire on the same sites whether or not the tracer
+   records (schedule trails stay comparable across traced and bare runs). *)
+(* Module-local binding of the shared word: the guards below are the
+   hottest loads in the tree, and reaching the atomic through [Hook.word]'s
+   module block measurably slows the disarmed path (see hook.mli). *)
+let hook_flags = Hook.flags
+
+let[@inline] enabled () =
+  Atomic.get hook_flags land (Hook.trace_bit lor Hook.sched_bit) <> 0
+
+let recording () = Atomic.get hook_flags land Hook.trace_bit <> 0
 let seq_counter = Atomic.make 0
 
 (* Bumped by [reset]: rings from an older generation are abandoned where
@@ -177,11 +193,23 @@ let emit_enabled ~ts k uid a b =
   buf.(i + f_b) <- b;
   r.n <- r.n + 1
 
+(* Slow path, entered only when some hook bit is set: yield to the
+   scheduler first (sched bit), then record (trace bit). The two are
+   independent so a schedule replay visits identical yield sites with the
+   ring on or off. *)
+let emit_hooked f ~ts k uid a b =
+  if f land Hook.sched_bit <> 0 then
+    Hook.yield (Hook.site_trace_base + kind_code k);
+  if f land Hook.trace_bit <> 0 then
+    emit_enabled ~ts:(if ts >= 0 then ts else (Atomic.get clock) ()) k uid a b
+
 let[@inline] emit k uid a b =
-  if Atomic.get on then emit_enabled ~ts:((Atomic.get clock) ()) k uid a b
+  let f = Atomic.get hook_flags in
+  if f <> 0 then emit_hooked f ~ts:(-1) k uid a b
 
 let[@inline] emit_at ~ts k uid a b =
-  if Atomic.get on then emit_enabled ~ts k uid a b
+  let f = Atomic.get hook_flags in
+  if f <> 0 then emit_hooked f ~ts k uid a b
 
 let reset () =
   Atomic.incr generation;
@@ -192,9 +220,9 @@ let enable ?(capacity = 1 lsl 15) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity";
   reset ();
   Atomic.set ring_capacity capacity;
-  Atomic.set on true
+  Hook.set_bit Hook.trace_bit
 
-let disable () = Atomic.set on false
+let disable () = Hook.clear_bit Hook.trace_bit
 
 type snapshot = { events : event array; dropped : int; complete_from : int }
 

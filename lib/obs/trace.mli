@@ -82,6 +82,14 @@ type event = {
 (** {1 Recording} *)
 
 val enabled : unit -> bool
+(** "Should this site prepare arguments and call {!emit}": true when
+    recording, and also while the deterministic scheduler ([lib/check]) is
+    installed — emit sites double as its yield points, and the yield must
+    fire on the same sites whether or not the ring records. One load of the
+    combined [Fault.Hook] word. *)
+
+val recording : unit -> bool
+(** True iff {!emit} actually writes to the rings (the trace bit alone). *)
 
 val enable : ?capacity:int -> unit -> unit
 (** Start recording into fresh rings of [capacity] events per domain

@@ -29,16 +29,24 @@ module Make (S : Smr.Smr_intf.S) = struct
   module St = Service_stats
 
   (* Session lifecycle: [live] while its owner (worker domain or network
-     connection) is presumed running; [detached] after a clean close
-     ([unregister] has run, nothing to recover); [dead] once the owner
-     crashed without detaching; [reaped] after a survivor handed the dead
-     handle to [S.report_crashed]. live -> detached and live -> dead are
-     one-way CASes, so a racing detach/crash resolves to exactly one. *)
+     connection) is presumed running; [detaching] while a clean close is
+     running [unregister]; [detached] once it finished (nothing to
+     recover); [dead] once the owner crashed without completing a detach;
+     [reaped] after a survivor handed the dead handle to
+     [S.report_crashed]. live -> detaching and live -> dead are one-way
+     CASes, so a racing detach/crash resolves to exactly one; a detach
+     that {e dies mid-close} (fault injection inside [unregister]'s
+     reclamation pass, a real crash between unhooking and unregistering)
+     moves detaching -> dead so the reaper can still recover it —
+     committing straight to [detached] before [unregister] ran would
+     strand the session: armed slots, undonated retire bag, and no state
+     [reap_dead]'s CAS could ever claim. *)
   let session_live = 0
 
   let session_dead = 1
   let session_reaped = 2
   let session_detached = 3
+  let session_detaching = 4
 
   type session = {
     handle : S.handle;
@@ -111,13 +119,26 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   (* Clean close: run from the domain that owns [s], after its last
      operation. Idempotent, and a no-op on a crashed session (the handle
-     must then go through [reap_dead], not [unregister]). *)
+     must then go through [reap_dead], not [unregister]). The detached
+     state is only committed after [unregister] returns; if the owner dies
+     mid-close the session is marked dead and the exception propagates, so
+     a survivor's [reap_dead] completes the handle's obligations via
+     [report_crashed]. That hand-off is sound because every fault point
+     inside [unregister] precedes the slot withdrawal and bag donation:
+     a partially-unregistered handle still looks like a crashed live one. *)
   let detach_session s =
-    if Atomic.compare_and_set s.state session_live session_detached then begin
-      Map.clear_local s.local;
-      S.unregister s.handle
-      (* the session record stays in [t.sessions]: its histograms feed the
-         next snapshot even after the owner is gone *)
+    if Atomic.compare_and_set s.state session_live session_detaching then begin
+      match
+        Map.clear_local s.local;
+        S.unregister s.handle
+      with
+      | () ->
+          Atomic.set s.state session_detached
+          (* the session record stays in [t.sessions]: its histograms feed
+             the next snapshot even after the owner is gone *)
+      | exception e ->
+          Atomic.set s.state session_dead;
+          raise e
     end
 
   (* Mark [s] dead without detaching: its SMR registration stays armed

@@ -1,0 +1,341 @@
+(* Model-check plumbing: deterministic-scheduler replay, the sequential
+   reference models and their linearizability search, corpus round-trip and
+   regression replay, and the shardkv session-lifecycle ladder (including
+   the detach-that-dies-mid-close edge the reaper must recover). *)
+
+module Gen = Check.Gen
+module Model = Check.Model
+module Sut = Check.Sut
+module Sched = Check.Sched
+module Harness = Check.Harness
+module Explore = Check.Explore
+module Corpus = Check.Corpus
+
+let case ?(ds = "treiber") ?(scheme = "EBR") ?(threshold = 1) ?fault
+    ?(traced = false) scripts =
+  {
+    Harness.ds;
+    scheme;
+    threshold;
+    scripts = Array.of_list (List.map (List.map Gen.op_of_string) scripts);
+    fault;
+    traced;
+  }
+
+let outcome_name = function
+  | `Pass -> "pass"
+  | `Overflow -> "overflow"
+  | `Violation v -> "violation " ^ Harness.vkind_name v.Harness.vkind
+
+(* --- scheduler --------------------------------------------------------- *)
+
+let test_sched_program_order () =
+  (* keep-running policy: thread 0 runs to completion before thread 1 *)
+  let order = ref [] in
+  let body i () = order := i :: !order in
+  let out =
+    Sched.run ~policy:(fun ~step:_ ~site:_ ~alts:_ -> 0) [| body 0; body 1 |]
+  in
+  Alcotest.(check (list int)) "order" [ 0; 1 ] (List.rev !order);
+  Alcotest.(check bool) "no overflow" false out.Sched.overflowed;
+  Array.iter
+    (fun e -> Alcotest.(check bool) "no exn" true (e = None))
+    out.Sched.exns
+
+let test_sched_initial_decision () =
+  (* the very first decision can hand the baton to the other thread *)
+  let order = ref [] in
+  let body i () = order := i :: !order in
+  let out =
+    Sched.run
+      ~policy:(fun ~step ~site:_ ~alts ->
+        if step = 0 then Array.length alts - 1 else 0)
+      [| body 0; body 1 |]
+  in
+  Alcotest.(check (list int)) "order" [ 1; 0 ] (List.rev !order);
+  Alcotest.(check bool) "no overflow" false out.Sched.overflowed
+
+let determinism_case () =
+  case ~ds:"treiber" ~scheme:"HP"
+    [ [ "push 1001"; "pop"; "push 1002" ]; [ "pop"; "push 2001"; "pop" ] ]
+
+let test_sched_determinism () =
+  (* same seed, fresh policy instance: byte-identical schedule trace *)
+  let run () =
+    Harness.run_case ~policy:(Explore.random_policy ~seed:7 ())
+      (determinism_case ())
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check string)
+    "trail" (Harness.render_trail r1.trail) (Harness.render_trail r2.trail);
+  Alcotest.(check (list int))
+    "choices"
+    (Array.to_list r1.choices)
+    (Array.to_list r2.choices);
+  Alcotest.(check string) "outcome" (outcome_name r1.outcome)
+    (outcome_name r2.outcome)
+
+let test_sched_trail_traced_invariant () =
+  (* recording a trace must not change the schedule: yields fire on the
+     sched bit alone, so the trail is identical traced or bare *)
+  let bare =
+    Harness.run_case
+      ~policy:(Explore.random_policy ~seed:11 ())
+      (determinism_case ())
+  in
+  let traced =
+    Harness.run_case
+      ~policy:(Explore.random_policy ~seed:11 ())
+      { (determinism_case ()) with Harness.traced = true }
+  in
+  Alcotest.(check string)
+    "trail" (Harness.render_trail bare.trail)
+    (Harness.render_trail traced.trail)
+
+(* --- sequential models and the linearizability search ------------------ *)
+
+let entry ?(killed = false) op res inv ret =
+  { Model.op = Gen.op_of_string op; res; inv; ret; killed }
+
+let kentry op inv = entry ~killed:true op Model.RUnit inv max_int
+
+let check_stack entries final =
+  Model.check Gen.KStack ~entries ~final:(Some (Model.SStack final))
+
+let test_model_linearizes () =
+  Alcotest.(check bool) "push then pop" true
+    (check_stack
+       [ entry "push 1001" Model.RUnit 0 1;
+         entry "pop" (Model.ROpt (Some 1001)) 2 3 ]
+       []);
+  (* overlapping ops may commute either way *)
+  Alcotest.(check bool) "concurrent push/pop" true
+    (check_stack
+       [ entry "push 1001" Model.RUnit 0 3;
+         entry "pop" (Model.ROpt None) 1 2 ]
+       [ 1001 ])
+
+let test_model_rejects_real_time_order () =
+  (* pop returned the value before the push was even invoked *)
+  Alcotest.(check bool) "no time travel" false
+    (check_stack
+       [ entry "pop" (Model.ROpt (Some 1001)) 0 1;
+         entry "push 1001" Model.RUnit 2 3 ]
+       [])
+
+let test_model_rejects_final_mismatch () =
+  Alcotest.(check bool) "final contents must be reachable" false
+    (check_stack [ entry "push 1001" Model.RUnit 0 1 ] [])
+
+let test_model_killed_optional () =
+  (* a killed push may have taken effect... *)
+  Alcotest.(check bool) "killed applied" true
+    (check_stack
+       [ kentry "push 1001" 0; entry "pop" (Model.ROpt (Some 1001)) 2 3 ]
+       []);
+  (* ...or not *)
+  Alcotest.(check bool) "killed dropped" true
+    (check_stack
+       [ kentry "push 1001" 0; entry "pop" (Model.ROpt None) 2 3 ]
+       [])
+
+(* --- corpus ------------------------------------------------------------ *)
+
+let test_corpus_roundtrip () =
+  let e =
+    {
+      Corpus.case =
+        case ~ds:"msqueue" ~scheme:"PEBR" ~threshold:3
+          ~fault:(Fault.Retire, 2) ~traced:true
+          [ [ "enq 1001"; "deq" ]; [ "deq" ] ];
+      choices = [| 0; 1; 1; 0 |];
+      expect = Some Harness.Uaf;
+      notes = [ "hand-written round-trip fixture" ];
+    }
+  in
+  let e' = Corpus.of_string (Corpus.to_string e) in
+  Alcotest.(check string)
+    "case" (Harness.case_to_string e.case)
+    (Harness.case_to_string e'.case);
+  Alcotest.(check (list int))
+    "choices"
+    (Array.to_list e.choices)
+    (Array.to_list e'.choices);
+  Alcotest.(check bool) "expect" true (e'.expect = Some Harness.Uaf);
+  Alcotest.(check bool) "traced" true e'.case.traced
+
+let corpus_dir () =
+  (* dune runtest runs in _build/default/test (where the dep glob copies
+     the corpus); dune exec from the project root does not *)
+  List.find Sys.file_exists
+    [
+      "check_corpus";
+      "test/check_corpus";
+      Filename.concat (Filename.dirname Sys.executable_name) "check_corpus";
+    ]
+
+let test_corpus_replay () =
+  (* every pinned counterexample must pass on the fixed tree *)
+  let dir = corpus_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun f ->
+      let r = Corpus.replay (Corpus.load (Filename.concat dir f)) in
+      Alcotest.(check string) f "pass" (outcome_name r.outcome))
+    files
+
+(* --- pinned regressions ------------------------------------------------ *)
+
+let test_msqueue_to_list_after_dequeue () =
+  (* direct form of check_corpus/msqueue-to-list-model.case: the value left
+     on the node that becomes the dummy must not reappear in to_list *)
+  match Sut.find ~ds:"msqueue" ~scheme:"EBR" with
+  | None -> Alcotest.fail "msqueue/EBR SUT missing"
+  | Some m ->
+      let module M = (val m : Sut.SUT) in
+      let t = M.make ~threshold:4 in
+      let l = M.attach t in
+      ignore (M.apply t l (Gen.Enq 1001));
+      ignore (M.apply t l (Gen.Enq 1002));
+      Alcotest.(check bool) "deq" true
+        (M.apply t l Gen.Deq = Model.ROpt (Some 1001));
+      Alcotest.(check bool) "contents" true
+        (M.contents t = Model.SQueue [ 1002 ]);
+      M.detach t l;
+      M.drain t
+
+(* --- shardkv session lifecycle ----------------------------------------- *)
+
+module Kv = Service.Shardkv.Make (Ebr)
+
+let kv_state (s : Kv.session) = Atomic.get s.Kv.state
+
+let test_shardkv_detach_then_crash () =
+  let t = Kv.create ~shards:1 ~buckets_per_shard:4 () in
+  let s = Kv.attach t in
+  ignore (Kv.put_s t s 1 10);
+  Kv.detach_session s;
+  Alcotest.(check int) "detached" Kv.session_detached (kv_state s);
+  (* a late crash report must not resurrect a cleanly closed session *)
+  Kv.crash s;
+  Alcotest.(check int) "still detached" Kv.session_detached (kv_state s);
+  Alcotest.(check int) "nothing to reap" 0 (Kv.reap_dead t);
+  Kv.shutdown t
+
+let test_shardkv_crash_then_detach () =
+  let t = Kv.create ~shards:1 ~buckets_per_shard:4 () in
+  let s = Kv.attach t in
+  ignore (Kv.put_s t s 1 10);
+  Kv.crash s;
+  (* the owner's close must not run unregister on a crashed session *)
+  Kv.detach_session s;
+  Alcotest.(check int) "dead" Kv.session_dead (kv_state s);
+  Alcotest.(check int) "reaped once" 1 (Kv.reap_dead t);
+  Alcotest.(check int) "reap is idempotent" 0 (Kv.reap_dead t);
+  Alcotest.(check int) "reaped" Kv.session_reaped (kv_state s);
+  Kv.shutdown t
+
+let test_shardkv_kill_mid_detach () =
+  (* a detach that dies inside unregister (kill at the reclamation-pass
+     entry) must leave the session dead — claimable by reap_dead — not
+     committed to detached with its registration stranded *)
+  let config =
+    { Smr.Smr_intf.default_config with reclaim_threshold = 1 lsl 20 }
+  in
+  let t = Kv.create ~config ~shards:1 ~buckets_per_shard:4 () in
+  let s = Kv.attach t in
+  ignore (Kv.put_s t s 1 10);
+  ignore (Kv.delete_s t s 1);
+  (* the delete's node now sits in the victim's retire bag *)
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  Fault.arm ~point:Fault.Reclaim ~action:Fault.Kill ~after:1 ();
+  (match Kv.detach_session s with
+  | () -> Alcotest.fail "expected the kill to land inside unregister"
+  | exception Fault.Killed _ -> ());
+  Fault.reset ();
+  Alcotest.(check int) "dead, not stranded" Kv.session_dead (kv_state s);
+  Alcotest.(check int) "reaper claims it" 1 (Kv.reap_dead t);
+  (* re-detach after the reap stays a no-op *)
+  Kv.detach_session s;
+  Alcotest.(check int) "reaped state sticks" Kv.session_reaped (kv_state s);
+  (* survivors can drain the adopted bag: nothing is stranded *)
+  let h = Ebr.register (Kv.scheme t) in
+  for _ = 1 to 8 do
+    Ebr.flush h
+  done;
+  Ebr.unregister h;
+  Alcotest.(check int) "no stranded garbage" 0
+    (Smr_core.Stats.unreclaimed (Kv.stats t));
+  Kv.shutdown t
+
+let test_shardkv_ladder_enumerated () =
+  (* bounded-exhaustive sweep of the ladder under the deterministic
+     scheduler: two sessions run ops and detach in-schedule while a kill is
+     armed at the first reclamation pass — whichever side it lands on
+     (operation or mid-detach), recovery must leave every schedule clean *)
+  let c =
+    case ~ds:"shardkv" ~scheme:"EBR" ~threshold:1
+      ~fault:(Fault.Reclaim, 1)
+      [ [ "ins 1 10"; "del 1" ]; [ "ins 2 20" ] ]
+  in
+  match
+    Explore.dfs ~preemptions:2 ~max_wall_ms:30_000 (fun policy ->
+        Harness.run_case ~policy c)
+  with
+  | `Found (r, _) ->
+      Alcotest.fail
+        (match r.outcome with
+        | `Violation v -> Harness.vkind_name v.vkind ^ ": " ^ v.detail
+        | _ -> "unexpected")
+  | `Clean n -> Alcotest.(check bool) "explored schedules" true (n > 0)
+  | `Budget _ -> () (* wall-capped, still no violation *)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "sched",
+        [
+          Alcotest.test_case "program order" `Quick test_sched_program_order;
+          Alcotest.test_case "initial decision" `Quick
+            test_sched_initial_decision;
+          Alcotest.test_case "determinism" `Quick test_sched_determinism;
+          Alcotest.test_case "trail invariant under tracing" `Quick
+            test_sched_trail_traced_invariant;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "linearizes" `Quick test_model_linearizes;
+          Alcotest.test_case "rejects real-time order" `Quick
+            test_model_rejects_real_time_order;
+          Alcotest.test_case "rejects final mismatch" `Quick
+            test_model_rejects_final_mismatch;
+          Alcotest.test_case "killed ops optional" `Quick
+            test_model_killed_optional;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip;
+          Alcotest.test_case "replay" `Quick test_corpus_replay;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "msqueue to_list after dequeue" `Quick
+            test_msqueue_to_list_after_dequeue;
+        ] );
+      ( "shardkv-ladder",
+        [
+          Alcotest.test_case "detach then crash" `Quick
+            test_shardkv_detach_then_crash;
+          Alcotest.test_case "crash then detach" `Quick
+            test_shardkv_crash_then_detach;
+          Alcotest.test_case "kill mid-detach" `Quick
+            test_shardkv_kill_mid_detach;
+          Alcotest.test_case "enumerated interleavings" `Slow
+            test_shardkv_ladder_enumerated;
+        ] );
+    ]
